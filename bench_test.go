@@ -1,0 +1,418 @@
+// Package repro benchmarks every experiment of the reproduction: one
+// benchmark per figure/claim of the paper (see DESIGN.md §3 for the
+// experiment index and EXPERIMENTS.md for recorded results). Besides ns/op,
+// each benchmark reports the simulator work it performed (steps/op,
+// msgs/op), which is the meaningful cost measure for an interleaving-level
+// simulation.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+	"repro/internal/register"
+	"repro/internal/separation"
+	"repro/internal/sim"
+)
+
+func reportRun(b *testing.B, steps, msgs int64) {
+	b.Helper()
+	b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+}
+
+// BenchmarkFig2SetAgreement regenerates experiment E1: Figure 2 (set
+// agreement from σ) across system sizes.
+func BenchmarkFig2SetAgreement(b *testing.B) {
+	for _, n := range []int{3, 5, 8, 12, 16} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			f := dist.NewFailurePattern(n)
+			props := agreement.DistinctProposals(n)
+			oracle, err := core.NewSigmaOracle(f, dist.NewProcSet(1, 2), 20, core.SigmaCanonical)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var steps, msgs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					Pattern: f, History: oracle, Program: core.Fig2Program(props),
+					Scheduler: sim.NewRandomScheduler(int64(i)), StopWhenDecided: true, DisableTrace: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep := agreement.Check(f, n-1, props, res); !rep.OK() {
+					b.Fatal(rep)
+				}
+				steps += res.Steps
+				msgs += res.MessagesSent
+			}
+			reportRun(b, steps, msgs)
+		})
+	}
+}
+
+// BenchmarkFig3Emulation regenerates experiment E2: σ from Σ{p,q}.
+func BenchmarkFig3Emulation(b *testing.B) {
+	const n = 5
+	f := dist.CrashPattern(n, 4)
+	pair := dist.NewProcSet(1, 2)
+	var steps, msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Pattern: f, History: fd.NewSigmaS(f, pair, 20), Program: core.Fig3Program(pair),
+			Scheduler: sim.NewRandomScheduler(int64(i)), MaxSteps: 400, DisableTrace: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+		msgs += res.MessagesSent
+	}
+	reportRun(b, steps, msgs)
+}
+
+// BenchmarkFig4KSetAgreement regenerates experiment E4: Figure 4 across the
+// (n, k) grid.
+func BenchmarkFig4KSetAgreement(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{6, 1}, {6, 3}, {10, 2}, {10, 5}, {16, 4}} {
+		b.Run(benchName("n", tc.n)+benchName("_k", tc.k), func(b *testing.B) {
+			f := dist.NewFailurePattern(tc.n)
+			props := agreement.DistinctProposals(tc.n)
+			active := dist.RangeSet(1, dist.ProcID(2*tc.k))
+			oracle, err := core.NewSigmaKOracle(f, active, 20, core.SigmaKCanonical)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var steps, msgs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					Pattern: f, History: oracle, Program: core.Fig4Program(props),
+					Scheduler: sim.NewRandomScheduler(int64(i)), StopWhenDecided: true, DisableTrace: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep := agreement.Check(f, tc.n-tc.k, props, res); !rep.OK() {
+					b.Fatal(rep)
+				}
+				steps += res.Steps
+				msgs += res.MessagesSent
+			}
+			reportRun(b, steps, msgs)
+		})
+	}
+}
+
+// BenchmarkFig5Emulation regenerates experiment E5: σ|X| from Σ_X.
+func BenchmarkFig5Emulation(b *testing.B) {
+	const n = 8
+	f := dist.CrashPattern(n, 7)
+	x := dist.RangeSet(1, 4)
+	var steps, msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Pattern: f, History: fd.NewSigmaS(f, x, 20), Program: core.Fig5Program(x),
+			Scheduler: sim.NewRandomScheduler(int64(i)), MaxSteps: 400, DisableTrace: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+		msgs += res.MessagesSent
+	}
+	reportRun(b, steps, msgs)
+}
+
+// BenchmarkFig6AntiOmega regenerates experiment E8: anti-Ω from σ.
+func BenchmarkFig6AntiOmega(b *testing.B) {
+	const n = 6
+	f := dist.CrashPattern(n, 5)
+	pair := dist.NewProcSet(1, 2)
+	oracle, err := core.NewSigmaOracle(f, pair, 25, core.SigmaCanonical)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps, msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Pattern: f, History: oracle, Program: core.Fig6Program(),
+			Scheduler: sim.NewRandomScheduler(int64(i)), MaxSteps: 800, DisableTrace: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+		msgs += res.MessagesSent
+	}
+	reportRun(b, steps, msgs)
+}
+
+// BenchmarkLemma7Refutation regenerates experiment E3.
+func BenchmarkLemma7Refutation(b *testing.B) {
+	pair := dist.NewProcSet(1, 2)
+	for i := 0; i < b.N; i++ {
+		cert, err := separation.Lemma7(separation.Lemma7Config{
+			N: 4, Candidate: separation.HeartbeatCandidate(pair, 8), Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cert.Property != "intersection" {
+			b.Fatalf("unexpected certificate: %s", cert)
+		}
+	}
+}
+
+// BenchmarkLemma11Refutation regenerates experiment E6.
+func BenchmarkLemma11Refutation(b *testing.B) {
+	x := dist.RangeSet(1, 4)
+	for i := 0; i < b.N; i++ {
+		cert, err := separation.Lemma11(separation.Lemma11Config{
+			N: 6, K: 2, Candidate: separation.HeartbeatSetCandidate(x, 8), Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cert.Property == "" {
+			b.Fatal("missing certificate")
+		}
+	}
+}
+
+// BenchmarkLemma15Refutation regenerates experiment E9.
+func BenchmarkLemma15Refutation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cert, err := separation.Lemma15(separation.Lemma15Config{
+			N: 5, Candidate: separation.EagerMinCandidate(6),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cert.Property != "agreement" {
+			b.Fatalf("unexpected certificate: %s", cert)
+		}
+	}
+}
+
+// BenchmarkTightness regenerates experiment E7.
+func BenchmarkTightness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cert, err := separation.Tightness(separation.TightnessConfig{N: 8, K: 3, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cert.Property != "agreement" {
+			b.Fatalf("unexpected certificate: %s", cert)
+		}
+	}
+}
+
+// BenchmarkFigure1Lattice regenerates experiment E10: the whole lattice.
+func BenchmarkFigure1Lattice(b *testing.B) {
+	for _, n := range []int{4, 6, 8} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lattice.Build(lattice.Config{N: n, RunsPerRelation: 2, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMajoritySigma regenerates experiment E11: Σ from a correct
+// majority.
+func BenchmarkMajoritySigma(b *testing.B) {
+	for _, n := range []int{3, 5, 9, 15} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			f := dist.NewFailurePattern(n)
+			var steps, msgs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					Pattern:   f,
+					History:   sim.HistoryFunc(func(dist.ProcID, dist.Time) any { return nil }),
+					Program:   fd.MajoritySigmaProgram(f.All()),
+					Scheduler: sim.NewRandomScheduler(int64(i)), MaxSteps: 1000, DisableTrace: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += res.Steps
+				msgs += res.MessagesSent
+			}
+			reportRun(b, steps, msgs)
+		})
+	}
+}
+
+// BenchmarkABDRegister regenerates experiment E12: ABD operations per run.
+func BenchmarkABDRegister(b *testing.B) {
+	const n = 5
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2)
+	base := make([][]register.Op, n)
+	base[0] = []register.Op{{Kind: register.WriteOp}, {Kind: register.ReadOp}, {Kind: register.WriteOp}}
+	base[1] = []register.Op{{Kind: register.ReadOp}, {Kind: register.WriteOp}, {Kind: register.ReadOp}}
+	scripts := register.UniqueWrites(base)
+	var steps, msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: register.Program(s, scripts),
+			Scheduler: sim.NewRandomScheduler(int64(i)), MaxSteps: 60_000,
+			StopWhen: func(sn *sim.Snapshot) bool {
+				for _, p := range s.Members() {
+					node, ok := sn.Automaton(p).(*register.Node)
+					if !ok || !node.Done() {
+						return false
+					}
+				}
+				return true
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops := register.ExtractOps(res.Trace)
+		ok, err := register.CheckLinearizable(ops, 0)
+		if err != nil || !ok {
+			b.Fatalf("linearizability: ok=%v err=%v", ok, err)
+		}
+		steps += res.Steps
+		msgs += res.MessagesSent
+	}
+	reportRun(b, steps, msgs)
+}
+
+// BenchmarkConsensus regenerates experiment E13: the Ω+Σ baseline.
+func BenchmarkConsensus(b *testing.B) {
+	for _, n := range []int{3, 5, 9} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			f := dist.NewFailurePattern(n)
+			props := agreement.DistinctProposals(n)
+			var steps, msgs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					Pattern: f, History: consensus.NewOracle(f, 25), Program: consensus.Program(props),
+					Scheduler: sim.NewRandomScheduler(int64(i)), MaxSteps: 200_000,
+					StopWhenDecided: true, DisableTrace: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep := agreement.Check(f, 1, props, res); !rep.OK() {
+					b.Fatal(rep)
+				}
+				steps += res.Steps
+				msgs += res.MessagesSent
+			}
+			reportRun(b, steps, msgs)
+		})
+	}
+}
+
+// BenchmarkAblationStackVsOracle measures what the Figure 5 emulation layer
+// costs compared to querying a σ₂ₖ oracle directly — the design-choice
+// ablation called out in DESIGN.md (layered reductions vs fused oracles).
+func BenchmarkAblationStackVsOracle(b *testing.B) {
+	const n, k = 8, 2
+	f := dist.NewFailurePattern(n)
+	props := agreement.DistinctProposals(n)
+	x := dist.RangeSet(1, dist.ProcID(2*k))
+
+	b.Run("oracle", func(b *testing.B) {
+		oracle, err := core.NewSigmaKOracle(f, x, 20, core.SigmaKCanonical)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{
+				Pattern: f, History: oracle, Program: core.Fig4Program(props),
+				Scheduler: sim.NewRandomScheduler(int64(i)), StopWhenDecided: true, DisableTrace: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep := agreement.Check(f, n-k, props, res); !rep.OK() {
+				b.Fatal(rep)
+			}
+		}
+	})
+	b.Run("stacked", func(b *testing.B) {
+		prog := func(p dist.ProcID, nn int) sim.Automaton {
+			return sim.NewStack(core.NewFig5(p, x), core.NewFig4(p, nn, props[p-1]))
+		}
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{
+				Pattern: f, History: fd.NewSigmaS(f, x, 20), Program: prog,
+				Scheduler: sim.NewRandomScheduler(int64(i)), StopWhenDecided: true, DisableTrace: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep := agreement.Check(f, n-k, props, res); !rep.OK() {
+				b.Fatal(rep)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSchedulers compares the random fair scheduler against
+// round-robin on the same workload (Figure 2): interleaving breadth vs speed.
+func BenchmarkAblationSchedulers(b *testing.B) {
+	const n = 6
+	f := dist.NewFailurePattern(n)
+	props := agreement.DistinctProposals(n)
+	oracle, err := core.NewSigmaOracle(f, dist.NewProcSet(1, 2), 20, core.SigmaCanonical)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, mk func(i int) sim.Scheduler) {
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{
+				Pattern: f, History: oracle, Program: core.Fig2Program(props),
+				Scheduler: mk(i), StopWhenDecided: true, DisableTrace: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep := agreement.Check(f, n-1, props, res); !rep.OK() {
+				b.Fatal(rep)
+			}
+		}
+	}
+	b.Run("random", func(b *testing.B) {
+		run(b, func(i int) sim.Scheduler { return sim.NewRandomScheduler(int64(i)) })
+	})
+	b.Run("roundrobin", func(b *testing.B) {
+		run(b, func(i int) sim.Scheduler { return &sim.RoundRobinScheduler{} })
+	})
+}
+
+func benchName(prefix string, v int) string {
+	const digits = "0123456789"
+	if v < 10 {
+		return prefix + "=" + digits[v:v+1]
+	}
+	return prefix + "=" + digits[v/10:v/10+1] + digits[v%10:v%10+1]
+}
+
+// BenchmarkHierarchy regenerates experiment E14: the full failure-detector
+// strictness chain, every edge machine-checked.
+func BenchmarkHierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := hierarchy.Build(hierarchy.Config{N: 6, K: 2, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

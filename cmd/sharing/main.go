@@ -1,0 +1,419 @@
+// Command sharing is the CLI front-end of the reproduction of "Sharing is
+// Harder than Agreeing" (Delporte-Gallet, Fauconnier, Guerraoui, PODC 2008).
+//
+// Subcommands:
+//
+//	lattice         regenerate the Figure 1 hardness lattice
+//	setagreement    run Figure 2 (set agreement from σ)
+//	kset            run Figure 4 ((n−k)-set agreement from σ₂ₖ)
+//	register        run the ABD S-register over Σ_S and check linearizability
+//	consensus       run the Ω+Σ consensus baseline
+//	counterexample  run a refutation harness (lemma7 | lemma11 | lemma15 | tightness)
+//	emulate         run an emulation and validate the emulated history (fig3 | fig5 | fig6)
+//	majority-sigma  emulate Σ from a correct majority and validate it
+//	hierarchy       derive the failure-detector strictness chains
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/agreement"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+	"repro/internal/register"
+	"repro/internal/separation"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sharing:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "lattice":
+		return cmdLattice(args[1:])
+	case "setagreement":
+		return cmdSetAgreement(args[1:])
+	case "kset":
+		return cmdKSet(args[1:])
+	case "register":
+		return cmdRegister(args[1:])
+	case "consensus":
+		return cmdConsensus(args[1:])
+	case "counterexample":
+		return cmdCounterexample(args[1:])
+	case "emulate":
+		return cmdEmulate(args[1:])
+	case "majority-sigma":
+		return cmdMajoritySigma(args[1:])
+	case "hierarchy":
+		return cmdHierarchy(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sharing <subcommand> [flags]
+
+subcommands:
+  lattice         -n 6 -runs 5 -seed 1
+  setagreement    -n 5 -seed 1 -crash "3,4"
+  kset            -n 6 -k 2 -seed 1 -crash "5"
+  register        -n 5 -seed 1
+  consensus       -n 5 -seed 1 -crash "5"
+  counterexample  lemma7|lemma11|lemma15|tightness  [-n 5 -k 2 -seed 1]
+  emulate         fig3|fig5|fig6  [-n 5 -seed 1]
+  majority-sigma  -n 5 -seed 1
+  hierarchy       -n 6 -k 2 -seed 1`)
+}
+
+func cmdHierarchy(args []string) error {
+	fs := flag.NewFlagSet("hierarchy", flag.ContinueOnError)
+	n := fs.Int("n", 6, "system size")
+	k := fs.Int("k", 2, "k (σ₂ₖ side)")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := hierarchy.Build(hierarchy.Config{N: *n, K: *k, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	return nil
+}
+
+func parseCrash(f *dist.FailurePattern, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	var p int
+	for len(spec) > 0 {
+		n, err := fmt.Sscanf(spec, "%d", &p)
+		if n != 1 || err != nil {
+			return fmt.Errorf("bad -crash list %q", spec)
+		}
+		f.CrashAt(dist.ProcID(p), 0)
+		for len(spec) > 0 && spec[0] != ',' {
+			spec = spec[1:]
+		}
+		if len(spec) > 0 {
+			spec = spec[1:]
+		}
+	}
+	if !f.InEnvironment() {
+		return fmt.Errorf("-crash list kills every process")
+	}
+	return nil
+}
+
+func cmdLattice(args []string) error {
+	fs := flag.NewFlagSet("lattice", flag.ContinueOnError)
+	n := fs.Int("n", 6, "system size")
+	runs := fs.Int("runs", 5, "runs per positive relation")
+	seed := fs.Int64("seed", 1, "base seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := lattice.Build(lattice.Config{N: *n, RunsPerRelation: *runs, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	return nil
+}
+
+func cmdSetAgreement(args []string) error {
+	fs := flag.NewFlagSet("setagreement", flag.ContinueOnError)
+	n := fs.Int("n", 5, "system size")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	crash := fs.String("crash", "", "processes crashed from time 0, e.g. \"3,4\"")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f := dist.NewFailurePattern(*n)
+	if err := parseCrash(f, *crash); err != nil {
+		return err
+	}
+	props := agreement.DistinctProposals(*n)
+	oracle, err := core.NewSigmaOracle(f, dist.NewProcSet(1, 2), 20, core.SigmaCanonical)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(sim.Config{
+		Pattern: f, History: oracle, Program: core.Fig2Program(props),
+		Scheduler: sim.NewRandomScheduler(*seed), StopWhenDecided: true,
+	})
+	if err != nil {
+		return err
+	}
+	rep := agreement.Check(f, *n-1, props, res)
+	fmt.Printf("Figure 2 on %v (σ active {p1,p2}): %s\n", f, rep)
+	printDecisions(rep.Decisions)
+	return nil
+}
+
+func cmdKSet(args []string) error {
+	fs := flag.NewFlagSet("kset", flag.ContinueOnError)
+	n := fs.Int("n", 6, "system size")
+	k := fs.Int("k", 2, "k (active set has 2k processes)")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	crash := fs.String("crash", "", "processes crashed from time 0")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f := dist.NewFailurePattern(*n)
+	if err := parseCrash(f, *crash); err != nil {
+		return err
+	}
+	if 2**k > *n {
+		return fmt.Errorf("need 2k ≤ n")
+	}
+	props := agreement.DistinctProposals(*n)
+	active := dist.RangeSet(1, dist.ProcID(2**k))
+	oracle, err := core.NewSigmaKOracle(f, active, 20, core.SigmaKCanonical)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(sim.Config{
+		Pattern: f, History: oracle, Program: core.Fig4Program(props),
+		Scheduler: sim.NewRandomScheduler(*seed), StopWhenDecided: true,
+	})
+	if err != nil {
+		return err
+	}
+	rep := agreement.Check(f, *n-*k, props, res)
+	fmt.Printf("Figure 4 on %v (σ₂ₖ active %v): %s\n", f, active, rep)
+	printDecisions(rep.Decisions)
+	return nil
+}
+
+func cmdRegister(args []string) error {
+	fs := flag.NewFlagSet("register", flag.ContinueOnError)
+	n := fs.Int("n", 5, "system size")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f := dist.NewFailurePattern(*n)
+	s := dist.NewProcSet(1, 2)
+	base := make([][]register.Op, *n)
+	base[0] = []register.Op{{Kind: register.WriteOp}, {Kind: register.ReadOp}, {Kind: register.WriteOp}, {Kind: register.ReadOp}}
+	base[1] = []register.Op{{Kind: register.ReadOp}, {Kind: register.WriteOp}, {Kind: register.ReadOp}}
+	scripts := register.UniqueWrites(base)
+	res, err := sim.Run(sim.Config{
+		Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: register.Program(s, scripts),
+		Scheduler: sim.NewRandomScheduler(*seed), MaxSteps: 60_000,
+	})
+	if err != nil {
+		return err
+	}
+	ops := register.ExtractOps(res.Trace)
+	ok, err := register.CheckLinearizable(ops, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ABD {p1,p2}-register over Σ_S: %d operations, linearizable=%v\n", len(ops), ok)
+	for _, o := range ops {
+		fmt.Println(" ", o)
+	}
+	if !ok {
+		return fmt.Errorf("history not linearizable")
+	}
+	return nil
+}
+
+func cmdConsensus(args []string) error {
+	fs := flag.NewFlagSet("consensus", flag.ContinueOnError)
+	n := fs.Int("n", 5, "system size")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	crash := fs.String("crash", "", "processes crashed from time 0")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f := dist.NewFailurePattern(*n)
+	if err := parseCrash(f, *crash); err != nil {
+		return err
+	}
+	props := agreement.DistinctProposals(*n)
+	res, err := sim.Run(sim.Config{
+		Pattern: f, History: consensus.NewOracle(f, 25), Program: consensus.Program(props),
+		Scheduler: sim.NewRandomScheduler(*seed), MaxSteps: 200_000, StopWhenDecided: true,
+	})
+	if err != nil {
+		return err
+	}
+	rep := agreement.Check(f, 1, props, res)
+	fmt.Printf("Ω+Σ consensus on %v: %s\n", f, rep)
+	printDecisions(rep.Decisions)
+	return nil
+}
+
+func cmdCounterexample(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("counterexample: need lemma7|lemma11|lemma15|tightness")
+	}
+	which := args[0]
+	fs := flag.NewFlagSet("counterexample", flag.ContinueOnError)
+	n := fs.Int("n", 5, "system size")
+	k := fs.Int("k", 2, "k")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	var (
+		cert *separation.Certificate
+		err  error
+	)
+	switch which {
+	case "lemma7":
+		cert, err = separation.Lemma7(separation.Lemma7Config{
+			N:         *n,
+			Candidate: separation.HeartbeatCandidate(dist.NewProcSet(1, 2), 10),
+			Seed:      *seed,
+		})
+	case "lemma11":
+		cert, err = separation.Lemma11(separation.Lemma11Config{
+			N: *n, K: *k,
+			Candidate: separation.HeartbeatSetCandidate(dist.RangeSet(1, dist.ProcID(2**k)), 10),
+			Seed:      *seed,
+		})
+	case "lemma15":
+		cert, err = separation.Lemma15(separation.Lemma15Config{
+			N:         *n,
+			Candidate: separation.EagerMinCandidate(8),
+		})
+	case "tightness":
+		cert, err = separation.Tightness(separation.TightnessConfig{N: *n, K: *k, Seed: *seed})
+	default:
+		return fmt.Errorf("unknown counterexample %q", which)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(cert)
+	return nil
+}
+
+func cmdEmulate(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("emulate: need fig3|fig5|fig6")
+	}
+	which := args[0]
+	fs := flag.NewFlagSet("emulate", flag.ContinueOnError)
+	n := fs.Int("n", 5, "system size")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	f := dist.NewFailurePattern(*n)
+	horizon := int64(500)
+	switch which {
+	case "fig3":
+		pair := dist.NewProcSet(1, 2)
+		res, err := sim.Run(sim.Config{
+			Pattern: f, History: fd.NewSigmaS(f, pair, 20), Program: core.Fig3Program(pair),
+			Scheduler: sim.NewRandomScheduler(*seed), MaxSteps: horizon,
+		})
+		if err != nil {
+			return err
+		}
+		hist := &fd.RecordedHistory{Trace: res.Trace}
+		vs := core.CheckSigma(f, pair, hist, dist.Time(horizon), dist.Time(horizon*3/4))
+		return reportEmulation("Figure 3: σ from Σ{p,q}", vs)
+	case "fig5":
+		x := dist.RangeSet(1, 4)
+		if *n < 4 {
+			return fmt.Errorf("fig5 demo needs n ≥ 4")
+		}
+		res, err := sim.Run(sim.Config{
+			Pattern: f, History: fd.NewSigmaS(f, x, 20), Program: core.Fig5Program(x),
+			Scheduler: sim.NewRandomScheduler(*seed), MaxSteps: horizon,
+		})
+		if err != nil {
+			return err
+		}
+		hist := &fd.RecordedHistory{Trace: res.Trace}
+		vs := core.CheckSigmaK(f, x, hist, dist.Time(horizon), dist.Time(horizon*3/4))
+		return reportEmulation("Figure 5: σ|X| from Σ_X", vs)
+	case "fig6":
+		pair := dist.NewProcSet(1, 2)
+		oracle, err := core.NewSigmaOracle(f, pair, 25, core.SigmaCanonical)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(sim.Config{
+			Pattern: f, History: oracle, Program: core.Fig6Program(),
+			Scheduler: sim.NewRandomScheduler(*seed), MaxSteps: horizon,
+		})
+		if err != nil {
+			return err
+		}
+		hist := &fd.RecordedHistory{Trace: res.Trace}
+		vs := fd.CheckAntiOmega(f, hist, dist.Time(horizon), dist.Time(horizon*3/4))
+		return reportEmulation("Figure 6: anti-Ω from σ", vs)
+	default:
+		return fmt.Errorf("unknown emulation %q", which)
+	}
+}
+
+func cmdMajoritySigma(args []string) error {
+	fs := flag.NewFlagSet("majority-sigma", flag.ContinueOnError)
+	n := fs.Int("n", 5, "system size")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f := dist.NewFailurePattern(*n)
+	f.CrashAt(dist.ProcID(*n), 40) // a minority crash mid-run
+	horizon := int64(2000)
+	res, err := sim.Run(sim.Config{
+		Pattern: f, History: sim.HistoryFunc(func(dist.ProcID, dist.Time) any { return nil }),
+		Program:   fd.MajoritySigmaProgram(f.All()),
+		Scheduler: sim.NewRandomScheduler(*seed), MaxSteps: horizon,
+	})
+	if err != nil {
+		return err
+	}
+	hist := fd.ClampCrashedToPi(&fd.RecordedHistory{Trace: res.Trace, Default: fd.TrustList{Trusted: f.All()}}, f, f.All())
+	vs := fd.CheckSigmaS(f, f.All(), hist, dist.Time(horizon), dist.Time(horizon*3/4))
+	return reportEmulation("Σ from correct majority (Section 2.2)", vs)
+}
+
+func reportEmulation(name string, vs []fd.Violation) error {
+	if len(vs) == 0 {
+		fmt.Printf("%s: emulated history satisfies the class definition\n", name)
+		return nil
+	}
+	for _, v := range vs {
+		fmt.Printf("%s: %s\n", name, v.Error())
+	}
+	return fmt.Errorf("%s: emulated history invalid", name)
+}
+
+func printDecisions(dec map[dist.ProcID]agreement.Value) {
+	for p := dist.ProcID(1); p < dist.MaxProcs; p++ {
+		if v, ok := dec[p]; ok {
+			fmt.Printf("  p%d decided %d\n", int(p), int64(v))
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSubcommandsSucceed(t *testing.T) {
+	cases := [][]string{
+		{"lattice", "-n", "4", "-runs", "1"},
+		{"setagreement", "-n", "4"},
+		{"setagreement", "-n", "5", "-crash", "3,4"},
+		{"kset", "-n", "6", "-k", "2"},
+		{"kset", "-n", "6", "-k", "2", "-crash", "5"},
+		{"register", "-n", "5"},
+		{"consensus", "-n", "4"},
+		{"counterexample", "lemma7", "-n", "4"},
+		{"counterexample", "lemma11", "-n", "5", "-k", "2"},
+		{"counterexample", "lemma15", "-n", "3"},
+		{"counterexample", "tightness", "-n", "6", "-k", "2"},
+		{"emulate", "fig3"},
+		{"emulate", "fig5"},
+		{"emulate", "fig6"},
+		{"majority-sigma", "-n", "5"},
+		{"hierarchy", "-n", "5", "-k", "2"},
+		{"help"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestSubcommandsFail(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"counterexample"},
+		{"counterexample", "bogus"},
+		{"emulate"},
+		{"emulate", "bogus"},
+		{"kset", "-n", "4", "-k", "3"},
+		{"setagreement", "-n", "3", "-crash", "1,2,3"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("%v: expected error", args)
+		}
+	}
+}
+
+func TestParseCrash(t *testing.T) {
+	if err := run([]string{"setagreement", "-n", "5", "-crash", "2,3,4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"setagreement", "-n", "5", "-crash", "x"}); err == nil ||
+		!strings.Contains(err.Error(), "bad -crash") {
+		t.Fatalf("err=%v", err)
+	}
+}

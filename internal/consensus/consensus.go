@@ -1,0 +1,236 @@
+// Package consensus implements the baseline that anchors the "agreeing" end
+// of the paper's spectrum: consensus (1-set agreement, the k = 1 extreme of
+// k-set agreement) from Ω + Σ in asynchronous message passing — a
+// Paxos-style ballot protocol whose quorums are the trusted sets of the
+// quorum failure detector Σ and whose liveness comes from the eventual
+// leader oracle Ω.
+//
+// Since deciding a single value solves k-set agreement for every k, this
+// module shows what *stronger* failure information buys, complementing the
+// paper's study of the weak end (σ, σₖ, anti-Ω).
+package consensus
+
+import (
+	"repro/internal/agreement"
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/sim"
+)
+
+// FD is the composite failure-detector output consumed by the protocol.
+type FD struct {
+	// Leader is the current Ω output.
+	Leader dist.ProcID
+	// Trusted is the current Σ output.
+	Trusted dist.ProcSet
+}
+
+// Oracle combines an Ω oracle and a Σ oracle into the composite history.
+type Oracle struct {
+	Omega *fd.OmegaOracle
+	Sigma *fd.SigmaSOracle
+}
+
+// NewOracle builds the composite Ω+Σ oracle for pattern f.
+func NewOracle(f *dist.FailurePattern, stab dist.Time) *Oracle {
+	return &Oracle{
+		Omega: &fd.OmegaOracle{F: f, Stab: stab},
+		Sigma: fd.NewSigma(f, stab),
+	}
+}
+
+// Output implements the history H(p, t).
+func (o *Oracle) Output(p dist.ProcID, t dist.Time) any {
+	leader, _ := o.Omega.Output(p, t).(dist.ProcID)
+	tl, _ := o.Sigma.Output(p, t).(fd.TrustList)
+	return FD{Leader: leader, Trusted: tl.Trusted}
+}
+
+// Ballot identifies a proposal attempt; ballots of distinct processes never
+// collide (b ≡ proposer−1 mod n).
+type Ballot int64
+
+// Protocol messages.
+type (
+	prepareMsg struct{ B Ballot }
+	promiseMsg struct {
+		B        Ballot
+		Accepted Ballot // highest ballot whose value the acceptor adopted; 0 = none
+		Val      agreement.Value
+	}
+	acceptMsg struct {
+		B   Ballot
+		Val agreement.Value
+	}
+	acceptedMsg struct{ B Ballot }
+	decideMsg   struct{ Val agreement.Value }
+)
+
+// Node is the per-process consensus automaton.
+type Node struct {
+	self dist.ProcID
+	n    int
+	v    agreement.Value
+
+	// Acceptor state.
+	promised Ballot
+	accB     Ballot
+	accV     agreement.Value
+
+	// Proposer state.
+	ballot    Ballot
+	phase     int // 0 idle, 1 collecting promises, 2 collecting accepts
+	promises  dist.ProcSet
+	bestB     Ballot
+	bestV     agreement.Value
+	accepts   dist.ProcSet
+	stall     int
+	threshold int
+
+	decided bool
+}
+
+var _ sim.Automaton = (*Node)(nil)
+
+// NewNode builds the consensus automaton for process self proposing v.
+// stallThreshold bounds how many of its own steps a leader waits for a
+// quorum before retrying with a higher ballot.
+func NewNode(self dist.ProcID, n int, v agreement.Value, stallThreshold int) *Node {
+	return &Node{self: self, n: n, v: v, threshold: stallThreshold}
+}
+
+// Program builds a Program from per-process proposals (index ProcID-1).
+func Program(proposals []agreement.Value) sim.Program {
+	return func(p dist.ProcID, n int) sim.Automaton {
+		return NewNode(p, n, proposals[p-1], 24)
+	}
+}
+
+// Step implements sim.Automaton.
+func (a *Node) Step(e *sim.Env) {
+	if payload, from, ok := e.Delivered(); ok {
+		a.onMessage(e, payload, from)
+	}
+	if a.decided {
+		return
+	}
+	out, ok := e.QueryFD().(FD)
+	if !ok {
+		return
+	}
+	if out.Leader != a.self {
+		a.phase = 0 // yield proposer role; acceptor duties continue
+		return
+	}
+	switch a.phase {
+	case 0:
+		a.newBallot(e)
+	case 1:
+		if !out.Trusted.IsEmpty() && out.Trusted.SubsetOf(a.promises) {
+			v := a.v
+			if a.bestB > 0 {
+				v = a.bestV // adopt the value of the highest accepted ballot
+			}
+			a.phase = 2
+			a.accepts = 0
+			a.bestV = v
+			a.selfAccept(a.ballot, v)
+			e.Broadcast(acceptMsg{B: a.ballot, Val: v})
+			return
+		}
+		a.maybeRetry(e)
+	case 2:
+		if !out.Trusted.IsEmpty() && out.Trusted.SubsetOf(a.accepts) {
+			e.BroadcastAll(decideMsg{Val: a.bestV})
+			a.decide(e, a.bestV)
+			return
+		}
+		a.maybeRetry(e)
+	}
+}
+
+func (a *Node) onMessage(e *sim.Env, payload any, from dist.ProcID) {
+	switch m := payload.(type) {
+	case prepareMsg:
+		if m.B > a.promised {
+			a.promised = m.B
+		}
+		if m.B >= a.promised {
+			e.Send(from, promiseMsg{B: m.B, Accepted: a.accB, Val: a.accV})
+		}
+	case promiseMsg:
+		if a.phase == 1 && m.B == a.ballot {
+			a.promises = a.promises.Add(from)
+			if m.Accepted > a.bestB {
+				a.bestB, a.bestV = m.Accepted, m.Val
+			}
+		}
+	case acceptMsg:
+		if m.B >= a.promised {
+			a.promised = m.B
+			a.accB, a.accV = m.B, m.Val
+			e.Send(from, acceptedMsg{B: m.B})
+		}
+	case acceptedMsg:
+		if a.phase == 2 && m.B == a.ballot {
+			a.accepts = a.accepts.Add(from)
+		}
+	case decideMsg:
+		if !a.decided {
+			e.BroadcastAll(decideMsg{Val: m.Val})
+			a.decide(e, m.Val)
+		}
+	}
+}
+
+func (a *Node) newBallot(e *sim.Env) {
+	// Ballots of process p are p, p+n, p+2n, ...: unique across processes.
+	next := a.ballot + Ballot(a.n)
+	if next <= a.promised {
+		next += (Ballot(int64(a.promised)-int64(next))/Ballot(a.n) + 1) * Ballot(a.n)
+	}
+	if a.ballot == 0 {
+		next = Ballot(a.self)
+		for next <= a.promised {
+			next += Ballot(a.n)
+		}
+	}
+	a.ballot = next
+	a.phase = 1
+	a.promises = 0
+	a.bestB, a.bestV = 0, 0
+	a.stall = 0
+	a.selfPromise(next)
+	e.Broadcast(prepareMsg{B: next})
+}
+
+// selfPromise applies the proposer's own acceptor vote locally.
+func (a *Node) selfPromise(b Ballot) {
+	if b > a.promised {
+		a.promised = b
+	}
+	a.promises = a.promises.Add(a.self)
+	if a.accB > a.bestB {
+		a.bestB, a.bestV = a.accB, a.accV
+	}
+}
+
+func (a *Node) selfAccept(b Ballot, v agreement.Value) {
+	if b >= a.promised {
+		a.promised = b
+		a.accB, a.accV = b, v
+	}
+	a.accepts = a.accepts.Add(a.self)
+}
+
+func (a *Node) maybeRetry(e *sim.Env) {
+	a.stall++
+	if a.stall >= a.threshold {
+		a.newBallot(e)
+	}
+}
+
+func (a *Node) decide(e *sim.Env, v agreement.Value) {
+	e.Decide(v)
+	a.decided = true
+}

@@ -1,0 +1,146 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+func runConsensus(t *testing.T, f *dist.FailurePattern, stab dist.Time, seed int64) agreement.Report {
+	t.Helper()
+	n := f.N()
+	props := agreement.DistinctProposals(n)
+	res, err := sim.Run(sim.Config{
+		Pattern:         f,
+		History:         NewOracle(f, stab),
+		Program:         Program(props),
+		Scheduler:       sim.NewRandomScheduler(seed),
+		MaxSteps:        int64(200_000),
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return agreement.Check(f, 1, props, res)
+}
+
+func TestConsensusAllCorrect(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		for seed := int64(0); seed < 5; seed++ {
+			f := dist.NewFailurePattern(n)
+			if rep := runConsensus(t, f, 25, seed); !rep.OK() {
+				t.Fatalf("n=%d seed=%d: %s", n, seed, rep)
+			}
+		}
+	}
+}
+
+func TestConsensusWithCrashes(t *testing.T) {
+	const n = 5
+	patterns := []*dist.FailurePattern{
+		dist.CrashPattern(n, 5),
+		dist.CrashPattern(n, 1), // p1 (the eventual canonical leader) dead
+		dist.CrashPattern(n, 1, 2, 3, 4),
+	}
+	for _, f := range patterns {
+		for seed := int64(0); seed < 5; seed++ {
+			if rep := runConsensus(t, f, 40, seed); !rep.OK() {
+				t.Fatalf("%v seed=%d: %s", f, seed, rep)
+			}
+		}
+	}
+}
+
+func TestConsensusLateCrashes(t *testing.T) {
+	const n = 6
+	for seed := int64(0); seed < 10; seed++ {
+		f := dist.NewFailurePattern(n)
+		f.CrashAt(dist.ProcID(1+seed%6), dist.Time(10+3*seed))
+		f.CrashAt(dist.ProcID(1+(seed+2)%6), dist.Time(30+seed))
+		if !f.InEnvironment() {
+			continue
+		}
+		if rep := runConsensus(t, f, 120, seed); !rep.OK() {
+			t.Fatalf("%v seed=%d: %s", f, seed, rep)
+		}
+	}
+}
+
+func TestConsensusAgreementSingleValue(t *testing.T) {
+	// Consensus = 1-set agreement: exactly one distinct decision.
+	f := dist.NewFailurePattern(5)
+	for seed := int64(0); seed < 20; seed++ {
+		rep := runConsensus(t, f, 20, seed)
+		if !rep.OK() {
+			t.Fatalf("seed=%d: %s", seed, rep)
+		}
+		if rep.Distinct != 1 {
+			t.Fatalf("seed=%d: %d distinct values", seed, rep.Distinct)
+		}
+	}
+}
+
+func TestConsensusSolvesKSetForAllK(t *testing.T) {
+	// The trivial reduction: deciding one value satisfies k-set agreement
+	// for every k ≥ 1 — the strong-information anchor of the spectrum.
+	f := dist.CrashPattern(6, 6)
+	props := agreement.DistinctProposals(6)
+	res, err := sim.Run(sim.Config{
+		Pattern:         f,
+		History:         NewOracle(f, 30),
+		Program:         Program(props),
+		Scheduler:       sim.NewRandomScheduler(3),
+		MaxSteps:        int64(200_000),
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 5; k++ {
+		if rep := agreement.Check(f, k, props, res); !rep.OK() {
+			t.Fatalf("k=%d: %s", k, rep)
+		}
+	}
+}
+
+func TestConsensusLeaderFlapping(t *testing.T) {
+	// A long pre-stabilization window makes Ω rotate through the alive
+	// processes: many proposers race with interleaved ballots. Safety
+	// (single decided value) must hold throughout; termination follows once
+	// Ω settles.
+	const n = 5
+	for seed := int64(0); seed < 10; seed++ {
+		f := dist.NewFailurePattern(n)
+		f.CrashAt(2, 90)
+		if rep := runConsensus(t, f, 400, seed); !rep.OK() {
+			t.Fatalf("seed=%d: %s", seed, rep)
+		}
+	}
+}
+
+func TestConsensusDecidedValueIsAProposal(t *testing.T) {
+	// Validity under ballot races: the decided value must be one of the
+	// proposals even when several proposers adopted each other's estimates.
+	const n = 4
+	props := agreement.DistinctProposals(n)
+	for seed := int64(0); seed < 20; seed++ {
+		f := dist.NewFailurePattern(n)
+		res, err := sim.Run(sim.Config{
+			Pattern:         f,
+			History:         NewOracle(f, 150),
+			Program:         Program(props),
+			Scheduler:       sim.NewRandomScheduler(seed),
+			MaxSteps:        int64(300_000),
+			StopWhenDecided: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := agreement.Check(f, 1, props, res)
+		if !rep.OK() {
+			t.Fatalf("seed=%d: %s", seed, rep)
+		}
+	}
+}

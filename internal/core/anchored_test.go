@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agreement"
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/sim"
+)
+
+// randomPattern derives a failure pattern from raw bytes, guaranteeing at
+// least one correct process.
+func randomPattern(n int, raw []uint8) *dist.FailurePattern {
+	f := dist.NewFailurePattern(n)
+	for i, b := range raw {
+		if i >= n {
+			break
+		}
+		switch b % 4 {
+		case 0:
+			f.CrashAt(dist.ProcID(i+1), 0)
+		case 1:
+			f.CrashAt(dist.ProcID(i+1), dist.Time(b%37))
+		}
+	}
+	if !f.InEnvironment() {
+		f.CrashAt(1, dist.NoCrash) // revive p1
+	}
+	return f
+}
+
+func TestAnchoredSigmaAlwaysValid(t *testing.T) {
+	prop := func(raw []uint8, seed int64) bool {
+		f := randomPattern(5, raw)
+		o, err := NewAnchoredSigma(f, dist.NewProcSet(1, 2), 40, seed)
+		if err != nil {
+			return false
+		}
+		return len(CheckSigma(f, o.Active(), o, 150, 100)) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnchoredSigmaKAlwaysValid(t *testing.T) {
+	prop := func(raw []uint8, seed int64) bool {
+		f := randomPattern(6, raw)
+		o, err := NewAnchoredSigmaK(f, dist.RangeSet(1, 4), 40, seed)
+		if err != nil {
+			return false
+		}
+		return len(CheckSigmaK(f, o.Active(), o, 150, 100)) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig2UnderAnchoredSigma(t *testing.T) {
+	// The adversarial histories flap between ∅, {anchor} and the pair,
+	// driving Figure 2 through its FD-escape branches; correctness must
+	// survive all of it.
+	const n = 5
+	patterns := []*dist.FailurePattern{
+		dist.NewFailurePattern(n),
+		dist.CrashPattern(n, 3, 4, 5),
+		dist.CrashPattern(n, 2, 3, 4, 5),
+		dist.CrashPattern(n, 2),
+	}
+	props := agreement.DistinctProposals(n)
+	for _, f := range patterns {
+		for seed := int64(0); seed < 15; seed++ {
+			oracle, err := NewAnchoredSigma(f, dist.NewProcSet(1, 2), 25, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(sim.Config{
+				Pattern: f, History: oracle, Program: Fig2Program(props),
+				Scheduler: sim.NewRandomScheduler(seed), StopWhenDecided: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := agreement.Check(f, n-1, props, res); !rep.OK() {
+				t.Fatalf("%v seed=%d: %s", f, seed, rep)
+			}
+		}
+	}
+}
+
+func TestFig4UnderAnchoredSigmaK(t *testing.T) {
+	const n, k = 6, 2
+	patterns := []*dist.FailurePattern{
+		dist.NewFailurePattern(n),
+		dist.CrashPattern(n, 5, 6),
+		dist.CrashPattern(n, 3, 4, 5, 6),
+		dist.CrashPattern(n, 1, 2, 5, 6),
+	}
+	active := dist.RangeSet(1, 4)
+	props := agreement.DistinctProposals(n)
+	for _, f := range patterns {
+		for seed := int64(0); seed < 15; seed++ {
+			oracle, err := NewAnchoredSigmaK(f, active, 25, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(sim.Config{
+				Pattern: f, History: oracle, Program: Fig4Program(props),
+				Scheduler: sim.NewRandomScheduler(seed), StopWhenDecided: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := agreement.Check(f, n-k, props, res); !rep.OK() {
+				t.Fatalf("%v seed=%d: %s", f, seed, rep)
+			}
+		}
+	}
+}
+
+func TestFig6UnderAnchoredSigma(t *testing.T) {
+	const n = 4
+	patterns := []*dist.FailurePattern{
+		dist.NewFailurePattern(n),
+		dist.CrashPattern(n, 3),
+		dist.CrashPattern(n, 2, 3, 4),
+	}
+	for _, f := range patterns {
+		for seed := int64(0); seed < 10; seed++ {
+			oracle, err := NewAnchoredSigma(f, dist.NewProcSet(1, 2), 25, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			horizon := int64(800)
+			res, err := sim.Run(sim.Config{
+				Pattern: f, History: oracle, Program: Fig6Program(),
+				Scheduler: sim.NewRandomScheduler(seed), MaxSteps: horizon,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hist := &fd.RecordedHistory{Trace: res.Trace}
+			if vs := fd.CheckAntiOmega(f, hist, dist.Time(horizon), dist.Time(horizon*3/4)); len(vs) != 0 {
+				t.Fatalf("%v seed=%d: %v", f, seed, vs)
+			}
+		}
+	}
+}
+
+func TestCanonicalOraclesAlwaysValidRandomized(t *testing.T) {
+	// The canonical σ/σₖ oracles must produce valid histories for every
+	// failure pattern, not just the hand-picked ones.
+	prop := func(raw []uint8) bool {
+		f := randomPattern(6, raw)
+		so, err := NewSigmaOracle(f, dist.NewProcSet(1, 2), 30, SigmaCanonical)
+		if err != nil || len(CheckSigma(f, so.Active(), so, 120, 80)) != 0 {
+			return false
+		}
+		ko, err := NewSigmaKOracle(f, dist.RangeSet(1, 4), 30, SigmaKCanonical)
+		if err != nil || len(CheckSigmaK(f, ko.Active(), ko, 120, 80)) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

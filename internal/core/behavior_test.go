@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// White-box behavior tests pinning the line-by-line semantics of the
+// algorithm figures.
+
+func TestFig2NonActiveDecidesOwnValueImmediately(t *testing.T) {
+	// Lines 2-5: a ⊥ reading means "decide your own value now".
+	const n = 4
+	f := dist.NewFailurePattern(n)
+	props := agreement.DistinctProposals(n)
+	oracle, err := NewSigmaOracle(f, dist.NewProcSet(1, 2), 5, SigmaCanonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p3 takes the very first step: it must decide its own value at t=0.
+	res, err := sim.Run(sim.Config{
+		Pattern: f, History: oracle, Program: Fig2Program(props),
+		Scheduler: &sim.ScriptedScheduler{
+			Script: sim.Steps(sim.DeliverAuto, 1, 3),
+			Then:   sim.NewRandomScheduler(1),
+		},
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.Decision(3); !ok || v != props[2] {
+		t.Fatalf("p3 decided %v, want its own proposal %d", v, int64(props[2]))
+	}
+	if res.DecideTime[3] != 0 {
+		t.Fatalf("p3 decided at t=%d, want 0", int64(res.DecideTime[3]))
+	}
+}
+
+func TestFig2ActiveAdoptsNonActiveValue(t *testing.T) {
+	// Task 1 (lines 8-13): if a non-active value arrives first, the active
+	// adopts it rather than finishing the exchange.
+	const n = 3
+	f := dist.NewFailurePattern(n)
+	props := agreement.DistinctProposals(n)
+	oracle, err := NewSigmaOracle(f, dist.NewProcSet(1, 2), 1_000_000, SigmaCanonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p3 (non-active) broadcasts (D, v3); p1 then steps twice: the first
+	// step consumes (D, v3) — Task 1 fires on the next guard evaluation.
+	script := []sim.Choice{
+		{Proc: 3, Mode: sim.DeliverNone}, // p3 decides own, broadcasts D
+		{Proc: 1, Mode: sim.DeliverNone}, // p1 activates, starts Phase 1
+		{Proc: 1, Mode: sim.DeliverAuto}, // p1 receives (D, v3)
+		{Proc: 1, Mode: sim.DeliverNone}, // Task 1 decides
+	}
+	res, err := sim.Run(sim.Config{
+		Pattern: f, History: oracle, Program: Fig2Program(props),
+		Scheduler: &sim.ScriptedScheduler{Script: script},
+		MaxSteps:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.Decision(1); !ok || v != props[2] {
+		t.Fatalf("p1 decided %v, want adopted value %d", v, int64(props[2]))
+	}
+}
+
+func TestFig2SoloActiveEscapesViaFD(t *testing.T) {
+	// The {p} = queryFD() escapes of Phases 1 and 2 (lines 18, 22): with
+	// everyone else crashed, the lone active must still decide — and by
+	// Validity (Theorem 4) it must not decide ⊥.
+	const n = 3
+	f := dist.CrashPattern(n, 2, 3)
+	props := agreement.DistinctProposals(n)
+	oracle, err := NewSigmaOracle(f, dist.NewProcSet(1, 2), 3, SigmaCanonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Pattern: f, History: oracle, Program: Fig2Program(props),
+		Scheduler: &sim.RoundRobinScheduler{}, StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.Decision(1); !ok || v != props[0] {
+		t.Fatalf("p1 decided %v, want own value %d (You stays ⊥, Me survives)", v, int64(props[0]))
+	}
+}
+
+func TestFig4HighHalfReannouncesLowValue(t *testing.T) {
+	// Line 37: a high-half process re-announces the low value it decides
+	// under its own index, so low-half processes read *low-origin* values
+	// from high indexes — the mechanism bounding fresh decisions to k values.
+	const n = 4
+	f := dist.CrashPattern(n, 3, 4) // only the active set {1,2} is correct
+	props := agreement.DistinctProposals(n)
+	active := dist.RangeSet(1, 2)
+	oracle, err := NewSigmaKOracle(f, active, 1, SigmaKNoInfo)
+	if err == nil {
+		// NoInfo invalid here? Correct={1,2}=A straddles both halves of {1,2}:
+		// low={1}, high={2} — correct in both halves, so NoInfo is valid.
+		res, runErr := sim.Run(sim.Config{
+			Pattern: f, History: oracle, Program: Fig4Program(props),
+			Scheduler: sim.NewRandomScheduler(3), StopWhenDecided: true,
+		})
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		// p2 (high half) must decide p1's value, re-announced or direct.
+		if v, ok := res.Decision(2); !ok || v != props[0] {
+			t.Fatalf("p2 decided %v, want p1's value %d", v, int64(props[0]))
+		}
+		// And the trace must contain p2's re-announcement (v1, p2).
+		found := false
+		for _, e := range res.Trace.Events() {
+			if e.Kind == trace.SendKind && e.P == 2 {
+				if ann, ok := e.Payload.(AnnVal); ok && ann.I == 2 && ann.V == props[0] {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatal("no (v1, p2) re-announcement found in the trace")
+		}
+		return
+	}
+	t.Fatalf("oracle construction: %v", err)
+}
+
+func TestFig4NonActivesNeverBlock(t *testing.T) {
+	// Non-actives decide at their first step regardless of σ₂ₖ's state.
+	const n = 6
+	f := dist.NewFailurePattern(n)
+	props := agreement.DistinctProposals(n)
+	active := dist.RangeSet(1, 4)
+	oracle, err := NewSigmaKOracle(f, active, 1_000_000, SigmaKCanonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Pattern: f, History: oracle, Program: Fig4Program(props),
+		Scheduler: &sim.ScriptedScheduler{Script: sim.Steps(sim.DeliverNone, 1, 5, 6)},
+		MaxSteps:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []dist.ProcID{5, 6} {
+		if v, ok := res.Decision(p); !ok || v != props[p-1] {
+			t.Fatalf("non-active p%d: decision %v, want own %d", int(p), v, int64(props[p-1]))
+		}
+	}
+}
+
+func TestFullMessagePassingStack(t *testing.T) {
+	// The headline composition with no oracle anywhere: Σ₍p,q₎ emulated from
+	// a correct majority by ping quorums (Section 2.2), σ emulated from that
+	// by Figure 3, set agreement from σ by Figure 2 — three protocol layers,
+	// pure message passing.
+	const n = 5
+	pair := dist.NewProcSet(1, 2)
+	props := agreement.DistinctProposals(n)
+	prog := func(p dist.ProcID, nn int) sim.Automaton {
+		return sim.NewStack(
+			fd.NewMajoritySigma(p, nn, pair),
+			NewFig3(p, pair),
+			NewFig2(p, props[p-1]),
+		)
+	}
+	patterns := []*dist.FailurePattern{
+		dist.NewFailurePattern(n),
+		dist.CrashPattern(n, 4),
+		func() *dist.FailurePattern { f := dist.NewFailurePattern(n); f.CrashAt(2, 30); return f }(),
+	}
+	for _, f := range patterns {
+		for seed := int64(0); seed < 8; seed++ {
+			res, err := sim.Run(sim.Config{
+				Pattern: f,
+				History: sim.HistoryFunc(func(dist.ProcID, dist.Time) any { return nil }),
+				Program: prog, Scheduler: sim.NewRandomScheduler(seed),
+				MaxSteps: 50_000, StopWhenDecided: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := agreement.Check(f, n-1, props, res); !rep.OK() {
+				t.Fatalf("%v seed=%d: %s", f, seed, rep)
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/sim"
+)
+
+// Fig3 is the algorithm of Figure 3: it emulates σ (with active pair
+// A = {p, q}) from Σ₍p,q₎, proving σ ⪯ Σ₍p,q₎ (Lemma 6). Members of the pair
+// copy the Σ output whenever it stays inside the pair and output ∅
+// otherwise; everyone else outputs ⊥.
+type Fig3 struct {
+	self dist.ProcID
+	pair dist.ProcSet
+	out  SigmaOut
+}
+
+var _ sim.Emulator = (*Fig3)(nil)
+
+// NewFig3 returns the Figure 3 automaton for process self emulating σ with
+// active pair `pair`.
+func NewFig3(self dist.ProcID, pair dist.ProcSet) *Fig3 {
+	a := &Fig3{self: self, pair: pair}
+	if !pair.Contains(self) {
+		a.out = SigmaOut{Bottom: true}
+	}
+	return a
+}
+
+// Fig3Program runs the Figure 3 emulation at every process.
+func Fig3Program(pair dist.ProcSet) sim.Program {
+	return func(p dist.ProcID, n int) sim.Automaton {
+		return NewFig3(p, pair)
+	}
+}
+
+// Step implements sim.Automaton.
+func (a *Fig3) Step(e *sim.Env) {
+	if !a.pair.Contains(a.self) {
+		return
+	}
+	y, ok := e.QueryFD().(fd.TrustList)
+	if !ok || y.Bottom {
+		return
+	}
+	if y.Trusted.SubsetOf(a.pair) {
+		a.out = SigmaOut{Trusted: y.Trusted}
+	} else {
+		a.out = SigmaOut{}
+	}
+}
+
+// Output implements sim.Emulator.
+func (a *Fig3) Output() any { return a.out }
+
+// Fig5 is the algorithm of Figure 5: it emulates σ|X| from Σ_X for an
+// arbitrary process subset X, proving σ|X| ⪯ Σ_X (Lemma 10). Members of X
+// output (Y, X) whenever the Σ_X output Y stays inside X and ∅ otherwise;
+// everyone else outputs ⊥.
+type Fig5 struct {
+	self dist.ProcID
+	x    dist.ProcSet
+	out  SigmaKOut
+}
+
+var _ sim.Emulator = (*Fig5)(nil)
+
+// NewFig5 returns the Figure 5 automaton for process self emulating σ|X|.
+func NewFig5(self dist.ProcID, x dist.ProcSet) *Fig5 {
+	a := &Fig5{self: self, x: x}
+	if x.Contains(self) {
+		a.out = SigmaKOut{Empty: true}
+	} else {
+		a.out = SigmaKOut{Bottom: true}
+	}
+	return a
+}
+
+// Fig5Program runs the Figure 5 emulation at every process.
+func Fig5Program(x dist.ProcSet) sim.Program {
+	return func(p dist.ProcID, n int) sim.Automaton {
+		return NewFig5(p, x)
+	}
+}
+
+// Step implements sim.Automaton.
+func (a *Fig5) Step(e *sim.Env) {
+	if !a.x.Contains(a.self) {
+		return
+	}
+	y, ok := e.QueryFD().(fd.TrustList)
+	if !ok || y.Bottom {
+		return
+	}
+	if y.Trusted.SubsetOf(a.x) {
+		a.out = SigmaKOut{Trusted: y.Trusted, Active: a.x}
+	} else {
+		a.out = SigmaKOut{Empty: true}
+	}
+}
+
+// Output implements sim.Emulator.
+func (a *Fig5) Output() any { return a.out }
+
+// Message payloads of the Figure 6 emulation.
+type (
+	// ActiveAnn is the (ACTIVE, p) announcement.
+	ActiveAnn struct{ P dist.ProcID }
+	// NonactiveAnn is the (NONACTIVE, p) announcement.
+	NonactiveAnn struct{ P dist.ProcID }
+	// ChangeMsg is the CHANGE notification sent by min(active) to
+	// max(active) when it learns it may be the only correct process.
+	ChangeMsg struct{}
+)
+
+// Fig6 is the algorithm of Figure 6 (appendix): it emulates anti-Ω from σ,
+// proving anti-Ω ⪯ σ (Lemma 16) and hence, with Lemma 15, that σ is
+// strictly stronger than anti-Ω in message passing.
+//
+// Every process announces whether its σ module marks it active (non-⊥);
+// announcements are relayed, implementing a reliable broadcast. While some
+// process has not been heard from, the emulated output is the smallest such
+// process (necessarily faulty, since channels are reliable). Once everyone
+// is classified, the output is min(active); if min(active) learns from σ
+// that it may be the only correct process ({p} = queryFD()), it switches its
+// output to max(active) and tells max(active) to do the same.
+type Fig6 struct {
+	self dist.ProcID
+	n    int
+
+	active    dist.ProcSet
+	nonactive dist.ProcSet
+	announced bool
+	resolved  bool // active ∪ nonactive = Π reached
+	min, max  dist.ProcID
+	gotChange bool
+	switched  bool
+
+	out dist.ProcID
+}
+
+var _ sim.Emulator = (*Fig6)(nil)
+
+// NewFig6 returns the Figure 6 automaton for process self.
+func NewFig6(self dist.ProcID, n int) *Fig6 {
+	return &Fig6{self: self, n: n, out: 1}
+}
+
+// Fig6Program runs the Figure 6 emulation at every process.
+func Fig6Program() sim.Program {
+	return func(p dist.ProcID, n int) sim.Automaton {
+		return NewFig6(p, n)
+	}
+}
+
+// Step implements sim.Automaton.
+func (a *Fig6) Step(e *sim.Env) {
+	if payload, _, ok := e.Delivered(); ok {
+		switch m := payload.(type) {
+		case ActiveAnn:
+			if !a.active.Contains(m.P) {
+				a.active = a.active.Add(m.P)
+				e.Broadcast(m) // relay: reliable broadcast
+			}
+		case NonactiveAnn:
+			if !a.nonactive.Contains(m.P) {
+				a.nonactive = a.nonactive.Add(m.P)
+				e.Broadcast(m)
+			}
+		case ChangeMsg:
+			a.gotChange = true
+		}
+	}
+
+	if !a.announced {
+		// Task 2, lines 13-18: classify self per σ and announce.
+		out, ok := e.QueryFD().(SigmaOut)
+		if !ok {
+			return
+		}
+		if out.Bottom {
+			a.nonactive = a.nonactive.Add(a.self)
+			e.Broadcast(NonactiveAnn{P: a.self})
+		} else {
+			a.active = a.active.Add(a.self)
+			e.Broadcast(ActiveAnn{P: a.self})
+		}
+		a.announced = true
+		return
+	}
+
+	if !a.resolved {
+		// Lines 19-20: while not everyone is classified, output the
+		// smallest unheard-from process.
+		all := a.active.Union(a.nonactive)
+		if all != dist.FullSet(a.n) {
+			a.out = dist.FullSet(a.n).Minus(all).Min()
+			return
+		}
+		a.resolved = true
+		a.min, a.max = a.active.Min(), a.active.Max()
+		a.out = a.min // lines 21-23
+		return
+	}
+
+	if a.switched {
+		return
+	}
+	if a.self == a.min {
+		// Lines 24-27: spin until σ returns {self}, then hand off to max.
+		out, ok := e.QueryFD().(SigmaOut)
+		if ok && !out.Bottom && out.Trusted == dist.NewProcSet(a.self) {
+			a.out = a.max
+			e.Send(a.max, ChangeMsg{})
+			a.switched = true
+		}
+		return
+	}
+	// Lines 28-30: everyone else waits for CHANGE.
+	if a.gotChange {
+		a.out = a.max
+		a.switched = true
+	}
+}
+
+// Output implements sim.Emulator: the emulated anti-Ω output.
+func (a *Fig6) Output() any { return a.out }

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/sim"
+)
+
+// emulate runs an emulation program over an oracle history and returns the
+// recorded emulated history.
+func emulate(t *testing.T, f *dist.FailurePattern, h sim.History, prog sim.Program, steps int64, seed int64) (*sim.Result, *fd.RecordedHistory) {
+	t.Helper()
+	res, err := sim.Run(sim.Config{
+		Pattern:   f,
+		History:   h,
+		Program:   prog,
+		Scheduler: sim.NewRandomScheduler(seed),
+		MaxSteps:  steps,
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return res, &fd.RecordedHistory{Trace: res.Trace}
+}
+
+func TestFig3EmulatesSigma(t *testing.T) {
+	// Lemma 6: the Figure 3 emulation produces valid σ histories from Σ{p,q}.
+	patterns := []*dist.FailurePattern{
+		dist.NewFailurePattern(5),
+		dist.CrashPattern(5, 3, 4, 5),
+		dist.CrashPattern(5, 2),
+		dist.CrashPattern(5, 1, 3),
+	}
+	pair := dist.NewProcSet(1, 2)
+	for _, f := range patterns {
+		for seed := int64(0); seed < 5; seed++ {
+			horizon := int64(400)
+			_, hist := emulate(t, f, fd.NewSigmaS(f, pair, 20), Fig3Program(pair), horizon, seed)
+			if vs := CheckSigma(f, pair, hist, dist.Time(horizon), dist.Time(horizon*3/4)); len(vs) != 0 {
+				t.Fatalf("%v seed=%d: emulated σ invalid: %v", f, seed, vs)
+			}
+		}
+	}
+}
+
+func TestFig5EmulatesSigmaK(t *testing.T) {
+	// Lemma 10: the Figure 5 emulation produces valid σ|X| histories from Σ_X.
+	patterns := []*dist.FailurePattern{
+		dist.NewFailurePattern(6),
+		dist.CrashPattern(6, 5, 6),
+		dist.CrashPattern(6, 3, 4, 5, 6),
+		dist.CrashPattern(6, 1, 2, 5, 6),
+	}
+	x := dist.RangeSet(1, 4)
+	for _, f := range patterns {
+		for seed := int64(0); seed < 5; seed++ {
+			horizon := int64(500)
+			_, hist := emulate(t, f, fd.NewSigmaS(f, x, 20), Fig5Program(x), horizon, seed)
+			if vs := CheckSigmaK(f, x, hist, dist.Time(horizon), dist.Time(horizon*3/4)); len(vs) != 0 {
+				t.Fatalf("%v seed=%d: emulated σ|X| invalid: %v", f, seed, vs)
+			}
+		}
+	}
+}
+
+func TestFig6EmulatesAntiOmega(t *testing.T) {
+	// Lemma 16: the Figure 6 emulation produces valid anti-Ω histories from σ.
+	pair := dist.NewProcSet(1, 2)
+	cases := []struct {
+		name string
+		f    *dist.FailurePattern
+	}{
+		{"all-correct", dist.NewFailurePattern(4)},
+		{"one-nonactive-crashed", dist.CrashPattern(4, 3)},
+		{"active-crashed", dist.CrashPattern(4, 2)},
+		{"only-p1-correct", dist.CrashPattern(4, 2, 3, 4)},
+		{"only-p2-correct", dist.CrashPattern(4, 1, 3, 4)},
+		{"only-actives-correct", dist.CrashPattern(4, 3, 4)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			oracle, err := NewSigmaOracle(c.f, pair, 25, SigmaCanonical)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			for seed := int64(0); seed < 5; seed++ {
+				horizon := int64(600)
+				_, hist := emulate(t, c.f, oracle, Fig6Program(), horizon, seed)
+				if vs := fd.CheckAntiOmega(c.f, hist, dist.Time(horizon), dist.Time(horizon*3/4)); len(vs) != 0 {
+					t.Fatalf("seed=%d: emulated anti-Ω invalid: %v", seed, vs)
+				}
+			}
+		})
+	}
+}
+
+func TestStackFig3Fig2SetAgreement(t *testing.T) {
+	// Composition of Lemma 6 with Theorem 4: Σ{p,q} ⟶(Fig 3)⟶ σ ⟶(Fig 2)⟶
+	// set agreement. This is the positive half of Theorem 2: a 2-register's
+	// failure information solves set agreement.
+	patterns := []*dist.FailurePattern{
+		dist.NewFailurePattern(5),
+		dist.CrashPattern(5, 3, 4, 5),
+		dist.CrashPattern(5, 2, 4),
+		dist.CrashPattern(5, 1, 3, 4, 5),
+	}
+	pair := dist.NewProcSet(1, 2)
+	for _, f := range patterns {
+		n := f.N()
+		props := agreement.DistinctProposals(n)
+		prog := func(p dist.ProcID, n int) sim.Automaton {
+			return sim.NewStack(NewFig3(p, pair), NewFig2(p, props[p-1]))
+		}
+		for seed := int64(0); seed < 10; seed++ {
+			res, err := sim.Run(sim.Config{
+				Pattern:         f,
+				History:         fd.NewSigmaS(f, pair, 15),
+				Program:         prog,
+				Scheduler:       sim.NewRandomScheduler(seed),
+				StopWhenDecided: true,
+			})
+			if err != nil {
+				t.Fatalf("%v: %v", f, err)
+			}
+			if rep := agreement.Check(f, n-1, props, res); !rep.OK() {
+				t.Fatalf("%v seed=%d: %s", f, seed, rep)
+			}
+		}
+	}
+}
+
+func TestStackFig5Fig4KSetAgreement(t *testing.T) {
+	// Composition of Lemma 10 with Section 4.1: Σ_X₂ₖ ⟶(Fig 5)⟶ σ₂ₖ ⟶(Fig 4)⟶
+	// (n−k)-set agreement. This is claim (a.2) of the introduction.
+	for n := 4; n <= 9; n++ {
+		for k := 1; 2*k <= n; k++ {
+			f := dist.NewFailurePattern(n)
+			x := dist.RangeSet(1, dist.ProcID(2*k))
+			props := agreement.DistinctProposals(n)
+			prog := func(p dist.ProcID, n int) sim.Automaton {
+				return sim.NewStack(NewFig5(p, x), NewFig4(p, n, props[p-1]))
+			}
+			for seed := int64(0); seed < 3; seed++ {
+				res, err := sim.Run(sim.Config{
+					Pattern:         f,
+					History:         fd.NewSigmaS(f, x, 15),
+					Program:         prog,
+					Scheduler:       sim.NewRandomScheduler(seed),
+					StopWhenDecided: true,
+				})
+				if err != nil {
+					t.Fatalf("n=%d k=%d: %v", n, k, err)
+				}
+				if rep := agreement.Check(f, n-k, props, res); !rep.OK() {
+					t.Fatalf("n=%d k=%d seed=%d: %s", n, k, seed, rep)
+				}
+			}
+		}
+	}
+}
+
+func TestStackFig5Fig4WithCrashes(t *testing.T) {
+	// The composed stack under crash patterns, including Correct ⊆ X.
+	const n = 6
+	x := dist.RangeSet(1, 4)
+	patterns := []*dist.FailurePattern{
+		dist.CrashPattern(n, 5, 6),          // only actives correct
+		dist.CrashPattern(n, 3, 4, 5, 6),    // only low half correct
+		dist.CrashPattern(n, 1, 2, 5, 6),    // only high half correct
+		dist.CrashPattern(n, 2, 3),          // straddle crashes
+		dist.CrashPattern(n, 1, 2, 3, 4),    // only non-actives correct
+		dist.CrashPattern(n, 2, 3, 4, 5, 6), // single correct process inside X
+	}
+	props := agreement.DistinctProposals(n)
+	for _, f := range patterns {
+		prog := func(p dist.ProcID, n int) sim.Automaton {
+			return sim.NewStack(NewFig5(p, x), NewFig4(p, n, props[p-1]))
+		}
+		for seed := int64(0); seed < 10; seed++ {
+			res, err := sim.Run(sim.Config{
+				Pattern:         f,
+				History:         fd.NewSigmaS(f, x, 15),
+				Program:         prog,
+				Scheduler:       sim.NewRandomScheduler(seed),
+				StopWhenDecided: true,
+			})
+			if err != nil {
+				t.Fatalf("%v: %v", f, err)
+			}
+			if rep := agreement.Check(f, n-2, props, res); !rep.OK() {
+				t.Fatalf("%v seed=%d: %s", f, seed, rep)
+			}
+		}
+	}
+}

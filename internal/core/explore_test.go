@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+// safetyCheck builds the exhaustive-exploration predicate: Agreement (≤ k
+// distinct) and Validity over the partial decision map.
+func safetyCheck(k int, props []agreement.Value) func(map[dist.ProcID]any) string {
+	valid := make(map[agreement.Value]bool, len(props))
+	for _, v := range props {
+		valid[v] = true
+	}
+	return func(dec map[dist.ProcID]any) string {
+		distinct := make(map[agreement.Value]bool, len(dec))
+		for p, raw := range dec {
+			v, ok := raw.(agreement.Value)
+			if !ok {
+				return fmt.Sprintf("p%d decided non-Value %v", int(p), raw)
+			}
+			if !valid[v] {
+				return fmt.Sprintf("validity: p%d decided unproposed %d", int(p), int64(v))
+			}
+			distinct[v] = true
+		}
+		if len(distinct) > k {
+			return fmt.Sprintf("agreement: %d distinct values > k=%d", len(distinct), k)
+		}
+		return ""
+	}
+}
+
+// TestFig2ExhaustiveSafety model-checks Figure 2 for n = 3: across EVERY
+// interleaving and message reordering (up to the depth bound), no reachable
+// state violates Agreement or Validity. This upgrades the sampled evidence
+// of Theorem 4 to a bounded exhaustive guarantee.
+func TestFig2ExhaustiveSafety(t *testing.T) {
+	const n = 3
+	props := agreement.DistinctProposals(n)
+	patterns := []*dist.FailurePattern{
+		dist.NewFailurePattern(n),
+		dist.CrashPattern(n, 3),
+		dist.CrashPattern(n, 2),
+		dist.CrashPattern(n, 2, 3),
+	}
+	for _, f := range patterns {
+		oracle, err := NewSigmaOracle(f, dist.NewProcSet(1, 2), 1, SigmaCanonical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Explore(sim.ExploreConfig{
+			Pattern:  f,
+			History:  oracle,
+			Program:  Fig2Program(props),
+			MaxDepth: 14,
+			TimeCap:  1,
+			Check:    safetyCheck(n-1, props),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != "" {
+			t.Fatalf("%v: %s (depth %d)", f, res.Violation, res.ViolationDepth)
+		}
+		if res.StatesVisited == 0 {
+			t.Fatalf("%v: nothing explored", f)
+		}
+		t.Logf("%v: %d states, %d steps, truncated=%v", f, res.StatesVisited, res.StepsExecuted, res.Truncated)
+	}
+}
+
+// TestFig4ExhaustiveSafety model-checks Figure 4 for n = 4, k = 1.
+func TestFig4ExhaustiveSafety(t *testing.T) {
+	const n, k = 4, 1
+	props := agreement.DistinctProposals(n)
+	active := dist.RangeSet(1, 2)
+	patterns := []*dist.FailurePattern{
+		dist.CrashPattern(n, 3, 4),
+		dist.CrashPattern(n, 2, 3, 4),
+	}
+	for _, f := range patterns {
+		oracle, err := NewSigmaKOracle(f, active, 1, SigmaKCanonical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Explore(sim.ExploreConfig{
+			Pattern:  f,
+			History:  oracle,
+			Program:  Fig4Program(props),
+			MaxDepth: 12,
+			TimeCap:  1,
+			Check:    safetyCheck(n-k, props),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != "" {
+			t.Fatalf("%v: %s (depth %d)", f, res.Violation, res.ViolationDepth)
+		}
+		t.Logf("%v: %d states, %d steps, truncated=%v", f, res.StatesVisited, res.StepsExecuted, res.Truncated)
+	}
+}
+
+// brokenFig2 is Figure 2 with the coordination removed: actives decide their
+// own values immediately. The explorer must find the agreement violation —
+// validating that the model checker actually detects bugs.
+type brokenFig2 struct {
+	self    dist.ProcID
+	v       agreement.Value
+	decided bool
+}
+
+func (a *brokenFig2) Step(e *sim.Env) {
+	if a.decided {
+		return
+	}
+	if _, ok := e.QueryFD().(SigmaOut); !ok {
+		return
+	}
+	e.Decide(a.v) // wrong: no elimination of any value
+	a.decided = true
+}
+
+func (a *brokenFig2) Snapshot() sim.Automaton {
+	cp := *a
+	return &cp
+}
+
+func TestExploreCatchesBrokenAlgorithm(t *testing.T) {
+	const n = 3
+	props := agreement.DistinctProposals(n)
+	f := dist.NewFailurePattern(n)
+	oracle, err := NewSigmaOracle(f, dist.NewProcSet(1, 2), 1, SigmaCanonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Explore(sim.ExploreConfig{
+		Pattern: f,
+		History: oracle,
+		Program: func(p dist.ProcID, nn int) sim.Automaton {
+			return &brokenFig2{self: p, v: props[p-1]}
+		},
+		MaxDepth: 8,
+		TimeCap:  1,
+		Check:    safetyCheck(n-1, props),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == "" {
+		t.Fatal("the explorer missed the planted agreement violation")
+	}
+}
+
+func TestExploreRejectsNonSnapshotter(t *testing.T) {
+	f := dist.NewFailurePattern(2)
+	_, err := sim.Explore(sim.ExploreConfig{
+		Pattern:  f,
+		History:  sim.HistoryFunc(func(dist.ProcID, dist.Time) any { return nil }),
+		Program:  func(p dist.ProcID, n int) sim.Automaton { return NewFig3(p, dist.NewProcSet(1, 2)) },
+		MaxDepth: 4,
+		Check:    func(map[dist.ProcID]any) string { return "" },
+	})
+	if err == nil {
+		t.Fatal("expected ErrNotSnapshotter")
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"repro/internal/agreement"
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+// AnnVal is Figure 4's (v, i) message: process i announces value v. Members
+// of the low half announce their own proposals; members of the high half
+// re-announce, under their own index, the low-half value they are about to
+// decide (line 37), which is what keeps every "fresh" active decision inside
+// the low half's value set.
+type AnnVal struct {
+	V agreement.Value
+	I dist.ProcID
+}
+
+// Fig4 is the algorithm of Figure 4: (n−k)-set agreement using σ₂ₖ.
+//
+// Processes outside the active set A decide their own values (at most n−2k
+// of them). The 2k active processes are split into the k smallest (the low
+// half, written A in the paper) and the k greatest (Ā); each side tries to
+// decide a value originating from the low half, and the Intersection
+// property of σ₂ₖ guarantees at most one side ever abandons that wait, so at
+// most k fresh values are decided by actives — n−k in total.
+//
+// Reconstruction note: the PODC'08 pseudo-code ends both repeat/until loops
+// without an explicit action on the `until` exit, but the termination
+// argument in the surrounding prose ("the processes of Ā have to decide on
+// their own value") requires one. We implement the exit as: broadcast
+// (D, vᵢ) and decide vᵢ. The (D, ·) broadcast is needed so that the opposite
+// side — which by Intersection can never exit its own loop — still
+// terminates via Task 1 when the exiting side's announcements are the only
+// ones left.
+type Fig4 struct {
+	self dist.ProcID
+	v    agreement.Value
+
+	phase int // 0: consult σ₂ₖ; 1: learn A; 2: low-half loop; 3: high-half loop; 4: decided
+
+	t         []agreement.Value // T[1..n]; NoValue = ⊥
+	forwarded dist.ProcSet      // (v,i) announcements already relayed
+
+	active    dist.ProcSet // A
+	low, high dist.ProcSet // A and Ā of the paper
+
+	gotD bool
+	dVal agreement.Value
+}
+
+var _ sim.Automaton = (*Fig4)(nil)
+
+// NewFig4 returns the Figure 4 automaton for process self proposing v.
+func NewFig4(self dist.ProcID, n int, v agreement.Value) *Fig4 {
+	t := make([]agreement.Value, n+1)
+	for i := range t {
+		t[i] = agreement.NoValue
+	}
+	return &Fig4{self: self, v: v, t: t}
+}
+
+// Fig4Program builds a Program from per-process proposals (index ProcID-1).
+func Fig4Program(proposals []agreement.Value) sim.Program {
+	return func(p dist.ProcID, n int) sim.Automaton {
+		return NewFig4(p, n, proposals[p-1])
+	}
+}
+
+// Step implements sim.Automaton.
+func (a *Fig4) Step(e *sim.Env) {
+	if payload, _, ok := e.Delivered(); ok {
+		a.absorb(e, payload)
+	}
+	switch a.phase {
+	case 0:
+		out, ok := e.QueryFD().(SigmaKOut)
+		if !ok {
+			return
+		}
+		if out.Bottom {
+			// Non-active: lines 2-5.
+			e.Broadcast(DecidedVal{W: a.v})
+			a.decide(e, a.v)
+			return
+		}
+		a.phase = 1
+	case 1:
+		if a.task1Decide(e) {
+			return
+		}
+		// Task 2 lines 19-23: spin until the active set is visible.
+		out, ok := e.QueryFD().(SigmaKOut)
+		if !ok {
+			return
+		}
+		if act := out.ActivePart(); !act.IsEmpty() {
+			a.active = act
+			a.low, a.high = Halves(act)
+			if a.low.Contains(a.self) {
+				e.Broadcast(AnnVal{V: a.v, I: a.self}) // line 25
+				a.phase = 2
+			} else {
+				a.phase = 3
+			}
+		}
+	case 2:
+		// Low-half loop (lines 26-32): read a value announced under a
+		// high-half index, or exit when σ₂ₖ reports no correct high-half
+		// process.
+		if a.task1Decide(e) {
+			return
+		}
+		if x := a.readable(a.high); x != dist.None {
+			w := a.t[x]
+			a.decide(e, w) // line 29
+			e.Broadcast(DecidedVal{W: w})
+			return
+		}
+		if a.untilFires(e, a.high) {
+			a.exitUndecided(e)
+		}
+	case 3:
+		// High-half loop (lines 33-41), symmetric.
+		if a.task1Decide(e) {
+			return
+		}
+		if x := a.readable(a.low); x != dist.None {
+			w := a.t[x]
+			e.Broadcast(AnnVal{V: w, I: a.self}) // line 37: re-announce under own index
+			a.decide(e, w)
+			e.Broadcast(DecidedVal{W: w})
+			return
+		}
+		if a.untilFires(e, a.low) {
+			a.exitUndecided(e)
+		}
+	}
+}
+
+func (a *Fig4) absorb(e *sim.Env, payload any) {
+	switch m := payload.(type) {
+	case DecidedVal:
+		if !a.gotD {
+			a.gotD, a.dVal = true, m.W
+		}
+	case AnnVal:
+		// Lines 14-17: relay each announcement once and record it. Only
+		// processes running Task 1 (actives that have not yet decided)
+		// relay; recording T[i] is always harmless.
+		if !a.forwarded.Contains(m.I) {
+			a.forwarded = a.forwarded.Add(m.I)
+			if a.phase >= 1 && a.phase <= 3 {
+				e.Broadcast(m)
+			}
+			if a.t[m.I] == agreement.NoValue {
+				a.t[m.I] = m.V
+			}
+		}
+	}
+}
+
+// task1Decide is Figure 4's Task 1 (lines 9-13).
+func (a *Fig4) task1Decide(e *sim.Env) bool {
+	if !a.gotD {
+		return false
+	}
+	e.Broadcast(DecidedVal{W: a.dVal})
+	a.decide(e, a.dVal)
+	return true
+}
+
+// readable returns a process of side whose announcement has been received.
+func (a *Fig4) readable(side dist.ProcSet) dist.ProcID {
+	for _, x := range side.Members() {
+		if a.t[x] != agreement.NoValue {
+			return x
+		}
+	}
+	return dist.None
+}
+
+// untilFires evaluates the loop guard of lines 32/41: the failure detector
+// carries information (non-⊥, non-∅, non-empty trust) and trusts nobody on
+// the opposite side.
+func (a *Fig4) untilFires(e *sim.Env, opposite dist.ProcSet) bool {
+	out, ok := e.QueryFD().(SigmaKOut)
+	if !ok {
+		return false
+	}
+	return !out.ActivePart().IsEmpty() &&
+		!out.TrustPart().IsEmpty() &&
+		!out.TrustPart().Intersects(opposite)
+}
+
+// exitUndecided implements the reconstructed until-exit: broadcast own value
+// as decided and decide it (see the type comment).
+func (a *Fig4) exitUndecided(e *sim.Env) {
+	e.Broadcast(DecidedVal{W: a.v})
+	a.decide(e, a.v)
+}
+
+func (a *Fig4) decide(e *sim.Env, v agreement.Value) {
+	e.Decide(v)
+	a.phase = 4
+}
+
+// Snapshot implements sim.Snapshotter, enabling exhaustive exploration of
+// Figure 4.
+func (a *Fig4) Snapshot() sim.Automaton {
+	cp := *a
+	cp.t = append([]agreement.Value(nil), a.t...)
+	return &cp
+}

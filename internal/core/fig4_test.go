@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+// runFig4 runs Figure 4 with a σ₂ₖ oracle and checks (n−k)-set agreement.
+func runFig4(t *testing.T, f *dist.FailurePattern, active dist.ProcSet, mode SigmaKMode, stab dist.Time, seed int64) agreement.Report {
+	t.Helper()
+	n := f.N()
+	k := active.Len() / 2
+	props := agreement.DistinctProposals(n)
+	oracle, err := NewSigmaKOracle(f, active, stab, mode)
+	if err != nil {
+		t.Fatalf("NewSigmaKOracle: %v", err)
+	}
+	res, err := sim.Run(sim.Config{
+		Pattern:         f,
+		History:         oracle,
+		Program:         Fig4Program(props),
+		Scheduler:       sim.NewRandomScheduler(seed),
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return agreement.Check(f, n-k, props, res)
+}
+
+func TestFig4AllCorrectSweep(t *testing.T) {
+	for n := 4; n <= 10; n++ {
+		for k := 1; 2*k <= n; k++ {
+			f := dist.NewFailurePattern(n)
+			active := dist.RangeSet(1, dist.ProcID(2*k))
+			for seed := int64(0); seed < 5; seed++ {
+				rep := runFig4(t, f, active, SigmaKCanonical, 25, seed)
+				if !rep.OK() {
+					t.Fatalf("n=%d k=%d seed=%d: %s", n, k, seed, rep)
+				}
+			}
+		}
+	}
+}
+
+func TestFig4OnlyLowHalfCorrect(t *testing.T) {
+	// Correct ⊆ A (low half): non-triviality forces information, the low
+	// half exits its loop via the until guard and decides own values.
+	const n, k = 6, 2
+	f := dist.CrashPattern(n, 3, 4, 5, 6) // correct = {1,2} = low half of {1..4}
+	active := dist.RangeSet(1, 4)
+	for seed := int64(0); seed < 20; seed++ {
+		rep := runFig4(t, f, active, SigmaKCanonical, 30, seed)
+		if !rep.OK() {
+			t.Fatalf("seed=%d: %s", seed, rep)
+		}
+	}
+}
+
+func TestFig4OnlyHighHalfCorrect(t *testing.T) {
+	const n, k = 6, 2
+	f := dist.CrashPattern(n, 1, 2, 5, 6) // correct = {3,4} = high half of {1..4}
+	active := dist.RangeSet(1, 4)
+	for seed := int64(0); seed < 20; seed++ {
+		rep := runFig4(t, f, active, SigmaKCanonical, 30, seed)
+		if !rep.OK() {
+			t.Fatalf("seed=%d: %s", seed, rep)
+		}
+	}
+}
+
+func TestFig4StraddleNoInfo(t *testing.T) {
+	// Correct processes on both sides of the split with a forever-(∅,A)
+	// history: the sides must trade values through the announcements.
+	const n = 6
+	f := dist.CrashPattern(n, 2, 3, 5, 6) // correct = {1,4}: one per half of {1..4}
+	active := dist.RangeSet(1, 4)
+	for seed := int64(0); seed < 20; seed++ {
+		rep := runFig4(t, f, active, SigmaKNoInfo, 0, seed)
+		if !rep.OK() {
+			t.Fatalf("seed=%d: %s", seed, rep)
+		}
+	}
+}
+
+func TestFig4NEquals2K(t *testing.T) {
+	// The paper's special case: every process is active.
+	for _, seedBase := range []int64{0, 100} {
+		for n := 4; n <= 8; n += 2 {
+			f := dist.NewFailurePattern(n)
+			active := dist.RangeSet(1, dist.ProcID(n))
+			for seed := seedBase; seed < seedBase+5; seed++ {
+				rep := runFig4(t, f, active, SigmaKCanonical, 20, seed)
+				if !rep.OK() {
+					t.Fatalf("n=%d seed=%d: %s", n, seed, rep)
+				}
+				if rep.Distinct > n/2 {
+					t.Fatalf("n=%d seed=%d: %d distinct > n−k=%d", n, seed, rep.Distinct, n/2)
+				}
+			}
+		}
+	}
+}
+
+func TestFig4TrustLowForcesOwnDecisions(t *testing.T) {
+	// One-sided trust (only low-half failures visible) with the whole high
+	// half faulty: low-half processes exit via the until guard.
+	const n = 6
+	f := dist.CrashPattern(n, 3, 4) // high half {3,4} faulty, non-actives correct
+	active := dist.RangeSet(1, 4)
+	for seed := int64(0); seed < 20; seed++ {
+		rep := runFig4(t, f, active, SigmaKTrustLow, 10, seed)
+		if !rep.OK() {
+			t.Fatalf("seed=%d: %s", seed, rep)
+		}
+	}
+}
+
+func TestFig4LateCrashSweep(t *testing.T) {
+	const n = 8
+	active := dist.RangeSet(2, 5) // k=2, off-center active set
+	for seed := int64(0); seed < 15; seed++ {
+		f := dist.NewFailurePattern(n)
+		f.CrashAt(dist.ProcID(1+seed%8), dist.Time(3+2*seed))
+		f.CrashAt(dist.ProcID(1+(seed+3)%8), dist.Time(9+seed))
+		if !f.InEnvironment() {
+			continue
+		}
+		rep := runFig4(t, f, active, SigmaKCanonical, 40, seed)
+		if !rep.OK() {
+			t.Fatalf("seed=%d %v: %s", seed, f, rep)
+		}
+	}
+}
+
+func TestSigmaKOracleValid(t *testing.T) {
+	cases := []struct {
+		f      *dist.FailurePattern
+		active dist.ProcSet
+		mode   SigmaKMode
+	}{
+		{dist.NewFailurePattern(6), dist.RangeSet(1, 4), SigmaKCanonical},
+		{dist.CrashPattern(6, 3, 4, 5, 6), dist.RangeSet(1, 4), SigmaKCanonical},
+		{dist.CrashPattern(6, 1, 2, 5, 6), dist.RangeSet(1, 4), SigmaKCanonical},
+		{dist.CrashPattern(6, 2, 3, 5, 6), dist.RangeSet(1, 4), SigmaKNoInfo},
+		{dist.CrashPattern(6, 3, 4), dist.RangeSet(1, 4), SigmaKTrustLow},
+		{dist.NewFailurePattern(4), dist.RangeSet(1, 4), SigmaKCanonical},
+	}
+	for i, c := range cases {
+		o, err := NewSigmaKOracle(c.f, c.active, 15, c.mode)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if vs := CheckSigmaK(c.f, c.active, o, 120, 60); len(vs) != 0 {
+			t.Fatalf("case %d (%v): invalid history: %v", i, c.f, vs)
+		}
+	}
+}
+
+func TestSigmaKNoInfoRejectedInsideHalf(t *testing.T) {
+	f := dist.CrashPattern(6, 3, 4, 5, 6) // Correct = {1,2} = low half
+	if _, err := NewSigmaKOracle(f, dist.RangeSet(1, 4), 0, SigmaKNoInfo); err == nil {
+		t.Fatal("SigmaKNoInfo accepted although Correct is inside one half")
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/fd"
+)
+
+// SigmaKOut is the output range of σₖ (Definition 9): ⊥ at processes outside
+// the active set A; at active processes either the no-information output ∅
+// (Empty) or a pair (X, A) with X ⊆ A.
+//
+// Note on ∅ vs (∅, A): Definition 9 writes the no-information output as a
+// plain ∅, while the Lemma 11 discussion writes it (∅, Π) — a pair with an
+// empty trust component but a visible active set. We keep both forms: Empty
+// is the plain ∅, and a pair with Trusted = ∅ is (∅, A). The algorithm of
+// Figure 4 can only make progress on its own once the active set is visible,
+// so histories that must support progress use (∅, A) as their idle output.
+type SigmaKOut struct {
+	Bottom  bool
+	Empty   bool
+	Trusted dist.ProcSet // X
+	Active  dist.ProcSet // A
+}
+
+// ActivePart is the `queryFD().active` accessor of Figure 4: ∅ for the
+// no-information output, A for pair outputs. Callers must check Bottom
+// first (the paper compares against ⊥ explicitly).
+func (o SigmaKOut) ActivePart() dist.ProcSet {
+	if o.Bottom || o.Empty {
+		return 0
+	}
+	return o.Active
+}
+
+// TrustPart is the `queryFD().trust` accessor of Figure 4.
+func (o SigmaKOut) TrustPart() dist.ProcSet {
+	if o.Bottom || o.Empty {
+		return 0
+	}
+	return o.Trusted
+}
+
+// String renders the output.
+func (o SigmaKOut) String() string {
+	switch {
+	case o.Bottom:
+		return "⊥"
+	case o.Empty:
+		return "∅"
+	default:
+		return fmt.Sprintf("(%v,%v)", o.Trusted, o.Active)
+	}
+}
+
+// Halves splits an active set into A (the ⌊|A|/2⌋ smallest processes) and Ā
+// (the rest), as in Definition 9 and Figure 4.
+func Halves(active dist.ProcSet) (low, high dist.ProcSet) {
+	low = active.Smallest(active.Len() / 2)
+	return low, active.Minus(low)
+}
+
+// SigmaKMode selects which valid σₖ history the oracle produces.
+type SigmaKMode uint8
+
+// Oracle modes.
+const (
+	// SigmaKCanonical outputs (∅, A) before the stabilization time and
+	// (Correct ∩ A, A) afterwards (or (∅, A) when no active is correct).
+	// Valid in every failure pattern.
+	SigmaKCanonical SigmaKMode = iota + 1
+	// SigmaKNoInfo outputs (∅, A) forever. Valid exactly when neither
+	// Correct ⊆ low-half nor Correct ⊆ high-half (non-triviality vacuous);
+	// this is the "(∅, Π)" history of the Lemma 11 n = 2k construction.
+	SigmaKNoInfo
+	// SigmaKTrustLow outputs (Correct ∩ low-half, A) after stabilization:
+	// the active processes learn about failures of the low half only. Used
+	// by the tightness experiment (E7) to drive the Figure 4 loop exits.
+	SigmaKTrustLow
+	// SigmaKTrustHigh is the symmetric one-sided history.
+	SigmaKTrustHigh
+)
+
+// SigmaKOracle generates valid σₖ histories for a fixed active set.
+type SigmaKOracle struct {
+	f    *dist.FailurePattern
+	a    dist.ProcSet
+	stab dist.Time
+	mode SigmaKMode
+}
+
+// NewSigmaKOracle builds a σₖ oracle (k = |a|) for failure pattern f. It
+// returns an error when the requested mode would violate Definition 9 in f.
+func NewSigmaKOracle(f *dist.FailurePattern, a dist.ProcSet, stab dist.Time, mode SigmaKMode) (*SigmaKOracle, error) {
+	if a.IsEmpty() || !a.SubsetOf(f.All()) {
+		return nil, fmt.Errorf("core: active set %v must be a non-empty subset of Π", a)
+	}
+	if mode == 0 {
+		mode = SigmaKCanonical
+	}
+	low, high := Halves(a)
+	correct := f.Correct()
+	switch mode {
+	case SigmaKNoInfo:
+		if correct.SubsetOf(low) || correct.SubsetOf(high) {
+			return nil, fmt.Errorf("core: SigmaKNoInfo invalid: Correct=%v inside one half of A=%v (non-triviality)", correct, a)
+		}
+	case SigmaKTrustLow:
+		if correct.Intersect(low).IsEmpty() && (correct.SubsetOf(low) || correct.SubsetOf(high)) {
+			return nil, fmt.Errorf("core: SigmaKTrustLow invalid: no correct process in the low half of %v", a)
+		}
+	case SigmaKTrustHigh:
+		if correct.Intersect(high).IsEmpty() && (correct.SubsetOf(low) || correct.SubsetOf(high)) {
+			return nil, fmt.Errorf("core: SigmaKTrustHigh invalid: no correct process in the high half of %v", a)
+		}
+	}
+	return &SigmaKOracle{f: f, a: a, stab: stab, mode: mode}, nil
+}
+
+// Active returns the active set A.
+func (o *SigmaKOracle) Active() dist.ProcSet { return o.a }
+
+// Output implements the history H(p, t).
+func (o *SigmaKOracle) Output(p dist.ProcID, t dist.Time) any {
+	if !o.a.Contains(p) {
+		return SigmaKOut{Bottom: true}
+	}
+	idle := SigmaKOut{Trusted: 0, Active: o.a} // (∅, A)
+	if t < o.stab || o.mode == SigmaKNoInfo {
+		return idle
+	}
+	low, high := Halves(o.a)
+	var trust dist.ProcSet
+	switch o.mode {
+	case SigmaKTrustLow:
+		trust = o.f.Correct().Intersect(low)
+	case SigmaKTrustHigh:
+		trust = o.f.Correct().Intersect(high)
+	default:
+		trust = o.f.Correct().Intersect(o.a)
+	}
+	if trust.IsEmpty() {
+		return idle
+	}
+	return SigmaKOut{Trusted: trust, Active: o.a}
+}
+
+// CheckSigmaK verifies a history against Definition 9 for active set a over
+// the finite horizon.
+func CheckSigmaK(f *dist.FailurePattern, a dist.ProcSet, h fd.History, horizon, stabBy dist.Time) []fd.Violation {
+	var out []fd.Violation
+	correct := f.Correct()
+	low, high := Halves(a)
+	nonTrivialApplies := correct.SubsetOf(low) || correct.SubsetOf(high)
+
+	type src struct {
+		p dist.ProcID
+		t dist.Time
+	}
+	nonEmpty := make(map[dist.ProcSet]src)
+
+	for _, p := range f.All().Members() {
+		lastBad := dist.Time(-1)
+		lastIdle := dist.Time(-1)
+		for t := dist.Time(0); t < horizon; t++ {
+			raw := h.Output(p, t)
+			so, ok := raw.(SigmaKOut)
+			if !ok {
+				return append(out, fd.Violation{Property: "well-formedness",
+					Witness: fmt.Sprintf("H(p%d,%d) has type %T, want SigmaKOut", int(p), int64(t), raw)})
+			}
+			if !a.Contains(p) {
+				if !so.Bottom {
+					return append(out, fd.Violation{Property: "well-formedness",
+						Witness: fmt.Sprintf("p%d ∉ A outputs %v, want ⊥", int(p), so)})
+				}
+				continue
+			}
+			if so.Bottom {
+				return append(out, fd.Violation{Property: "well-formedness",
+					Witness: fmt.Sprintf("p%d ∈ A outputs ⊥ at t=%d", int(p), int64(t))})
+			}
+			if so.Empty {
+				lastIdle = t
+				continue
+			}
+			if so.Active != a || !so.Trusted.SubsetOf(a) {
+				return append(out, fd.Violation{Property: "well-formedness",
+					Witness: fmt.Sprintf("H(p%d,%d)=%v not of form (X⊆A, A) for A=%v", int(p), int64(t), so, a)})
+			}
+			if so.Trusted.IsEmpty() {
+				lastIdle = t
+			} else if _, seen := nonEmpty[so.Trusted]; !seen {
+				nonEmpty[so.Trusted] = src{p: p, t: t}
+			}
+			if correct.Contains(p) && !so.Trusted.IsEmpty() && !so.Trusted.SubsetOf(correct) {
+				lastBad = t
+			}
+		}
+		if a.Contains(p) && correct.Contains(p) && lastBad >= stabBy {
+			out = append(out, fd.Violation{Property: "completeness",
+				Witness: fmt.Sprintf("p%d still trusts a faulty process at t=%d (deadline %d)", int(p), int64(lastBad), int64(stabBy))})
+		}
+		if a.Contains(p) && correct.Contains(p) && nonTrivialApplies && lastIdle >= stabBy {
+			out = append(out, fd.Violation{Property: "non-triviality",
+				Witness: fmt.Sprintf("Correct inside one half of A but H(p%d,%d) carries no trust after deadline %d", int(p), int64(lastIdle), int64(stabBy))})
+		}
+	}
+
+	var sets []dist.ProcSet
+	for s := range nonEmpty {
+		sets = append(sets, s)
+	}
+	for i := 0; i < len(sets); i++ {
+		for j := i; j < len(sets); j++ {
+			if !sets[i].Intersects(sets[j]) {
+				x, y := nonEmpty[sets[i]], nonEmpty[sets[j]]
+				out = append(out, fd.Violation{Property: "intersection",
+					Witness: fmt.Sprintf("H(p%d,%d)=(%v,·) ∩ H(p%d,%d)=(%v,·) = ∅",
+						int(x.p), int64(x.t), sets[i], int(y.p), int64(y.t), sets[j])})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package fd
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// OmegaOracle is a valid Ω history: eventually every process is given the
+// same correct leader. Before the stabilization time it rotates through the
+// alive processes (arbitrary wrong outputs are allowed finitely often).
+type OmegaOracle struct {
+	F      *dist.FailurePattern
+	Leader dist.ProcID // must be correct; zero value selects min(Correct)
+	Stab   dist.Time
+}
+
+// Output implements the history H(p, t); the range is dist.ProcID.
+func (o *OmegaOracle) Output(p dist.ProcID, t dist.Time) any {
+	if t >= o.Stab {
+		return o.leader()
+	}
+	alive := o.F.AliveAt(t).Members()
+	if len(alive) == 0 {
+		return o.leader()
+	}
+	return alive[int(t)%len(alive)]
+}
+
+func (o *OmegaOracle) leader() dist.ProcID {
+	if o.Leader != dist.None {
+		return o.Leader
+	}
+	return o.F.Correct().Min()
+}
+
+// CheckOmega verifies that from stabBy on, every correct process is output
+// the same correct leader.
+func CheckOmega(f *dist.FailurePattern, h History, horizon, stabBy dist.Time) []Violation {
+	var out []Violation
+	leader := dist.None
+	for _, p := range f.Correct().Members() {
+		for t := stabBy; t < horizon; t++ {
+			raw := h.Output(p, t)
+			id, ok := raw.(dist.ProcID)
+			if !ok {
+				return append(out, Violation{Property: "well-formedness",
+					Witness: fmt.Sprintf("H(p%d,%d) has type %T, want ProcID", int(p), int64(t), raw)})
+			}
+			if leader == dist.None {
+				leader = id
+			}
+			if id != leader {
+				out = append(out, Violation{Property: "eventual-leadership",
+					Witness: fmt.Sprintf("H(p%d,%d)=p%d, want stable p%d", int(p), int64(t), int(id), int(leader))})
+				return out
+			}
+		}
+	}
+	if leader != dist.None && !f.IsCorrect(leader) {
+		out = append(out, Violation{Property: "eventual-leadership",
+			Witness: fmt.Sprintf("stable leader p%d is faulty", int(leader))})
+	}
+	return out
+}
+
+// Suspects is the output range of the P/◇P family: the set of processes the
+// detector currently suspects of having crashed.
+type Suspects struct {
+	Suspected dist.ProcSet
+}
+
+// PerfectOracle is a valid P history: strong accuracy (no process suspected
+// before it crashes) and strong completeness (every crashed process is
+// eventually suspected, here after Lag ticks).
+type PerfectOracle struct {
+	F   *dist.FailurePattern
+	Lag dist.Time // detection delay; 0 detects instantly
+}
+
+// Output implements the history H(p, t).
+func (o *PerfectOracle) Output(p dist.ProcID, t dist.Time) any {
+	cut := t - o.Lag
+	if cut < 0 {
+		cut = 0
+	}
+	return Suspects{Suspected: o.F.All().Minus(o.F.AliveAt(cut))}
+}
+
+// EventuallyPerfectOracle is a valid ◇P history: arbitrary suspicions before
+// the stabilization time, exact crash knowledge afterwards.
+type EventuallyPerfectOracle struct {
+	F    *dist.FailurePattern
+	Stab dist.Time
+}
+
+// Output implements the history H(p, t).
+func (o *EventuallyPerfectOracle) Output(p dist.ProcID, t dist.Time) any {
+	if t < o.Stab {
+		// Wrong suspicions are permitted finitely often: suspect everyone
+		// but the querier and a rotating peer.
+		keep := dist.ProcID(1 + (int64(t) % int64(o.F.N())))
+		return Suspects{Suspected: o.F.All().Remove(p).Remove(keep)}
+	}
+	return Suspects{Suspected: o.F.All().Minus(o.F.AliveAt(t))}
+}
+
+// CheckPerfect verifies strong accuracy over the horizon and strong
+// completeness by the deadline.
+func CheckPerfect(f *dist.FailurePattern, h History, horizon, completeBy dist.Time) []Violation {
+	var out []Violation
+	for _, p := range f.Correct().Members() {
+		for t := dist.Time(0); t < horizon; t++ {
+			raw := h.Output(p, t)
+			s, ok := raw.(Suspects)
+			if !ok {
+				return append(out, Violation{Property: "well-formedness",
+					Witness: fmt.Sprintf("H(p%d,%d) has type %T, want Suspects", int(p), int64(t), raw)})
+			}
+			crashed := f.All().Minus(f.AliveAt(t))
+			if !s.Suspected.SubsetOf(crashed) {
+				out = append(out, Violation{Property: "strong-accuracy",
+					Witness: fmt.Sprintf("p%d suspects %v at t=%d but crashed=%v", int(p), s.Suspected, int64(t), crashed)})
+				return out
+			}
+			if t >= completeBy && !f.All().Minus(f.Correct()).SubsetOf(s.Suspected) {
+				out = append(out, Violation{Property: "strong-completeness",
+					Witness: fmt.Sprintf("p%d misses a crashed process at t=%d", int(p), int64(t))})
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// AntiOmegaOracle is a valid anti-Ω history (Zieliński): each query returns
+// a process id, and some correct process's id is returned only finitely many
+// times. The Shielded process (default max(Correct)) is the one protected
+// after the stabilization time; before it, outputs rotate arbitrarily.
+type AntiOmegaOracle struct {
+	F        *dist.FailurePattern
+	Shielded dist.ProcID // must be correct; zero value selects max(Correct)
+	Stab     dist.Time
+}
+
+// Output implements the history H(p, t); the range is dist.ProcID.
+func (o *AntiOmegaOracle) Output(p dist.ProcID, t dist.Time) any {
+	if t < o.Stab {
+		return dist.ProcID(1 + ((int64(t) + int64(p)) % int64(o.F.N())))
+	}
+	sh := o.shielded()
+	out := o.F.All().Remove(sh).Min()
+	if out == dist.None {
+		return sh // degenerate n=1 system
+	}
+	return out
+}
+
+func (o *AntiOmegaOracle) shielded() dist.ProcID {
+	if o.Shielded != dist.None {
+		return o.Shielded
+	}
+	return o.F.Correct().Max()
+}
+
+// CheckAntiOmega verifies that over [stabBy, horizon) the outputs observed
+// at correct processes exclude at least one correct process.
+func CheckAntiOmega(f *dist.FailurePattern, h History, horizon, stabBy dist.Time) []Violation {
+	var returned dist.ProcSet
+	for _, p := range f.Correct().Members() {
+		for t := stabBy; t < horizon; t++ {
+			raw := h.Output(p, t)
+			id, ok := raw.(dist.ProcID)
+			if !ok {
+				return []Violation{{Property: "well-formedness",
+					Witness: fmt.Sprintf("H(p%d,%d) has type %T, want ProcID", int(p), int64(t), raw)}}
+			}
+			returned = returned.Add(id)
+		}
+	}
+	if f.Correct().SubsetOf(returned) {
+		return []Violation{{Property: "finitely-returned",
+			Witness: fmt.Sprintf("every correct process in %v is still being returned after t=%d", f.Correct(), int64(stabBy))}}
+	}
+	return nil
+}
+
+// ClampCrashedToPi wraps a Σ_S history so that crashed members of S output
+// Π, matching the paper's convention for crashed processes. Emulated
+// histories recorded from traces freeze at the last pre-crash output; this
+// wrapper restores the convention for property checking while keeping all
+// pre-crash outputs (which the Intersection property ranges over) intact.
+func ClampCrashedToPi(h History, f *dist.FailurePattern, s dist.ProcSet) History {
+	return clampedHistory{h: h, f: f, s: s}
+}
+
+type clampedHistory struct {
+	h History
+	f *dist.FailurePattern
+	s dist.ProcSet
+}
+
+func (c clampedHistory) Output(p dist.ProcID, t dist.Time) any {
+	if c.s.Contains(p) && !c.f.Alive(p, t) {
+		return TrustList{Trusted: c.f.All()}
+	}
+	return c.h.Output(p, t)
+}

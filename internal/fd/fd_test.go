@@ -1,0 +1,241 @@
+package fd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func patterns5() []*dist.FailurePattern {
+	return []*dist.FailurePattern{
+		dist.NewFailurePattern(5),
+		dist.CrashPattern(5, 5),
+		dist.CrashPattern(5, 1, 2),
+		dist.CrashPattern(5, 2, 3, 4, 5),
+	}
+}
+
+func TestSigmaSOracleValid(t *testing.T) {
+	for _, f := range patterns5() {
+		for _, s := range []dist.ProcSet{dist.NewProcSet(1, 2), f.All()} {
+			o := NewSigmaS(f, s, 20)
+			if vs := CheckSigmaS(f, s, o, 150, 100); len(vs) != 0 {
+				t.Fatalf("%v S=%v: %v", f, s, vs)
+			}
+		}
+	}
+}
+
+func TestSigmaSOracleBottomOutsideS(t *testing.T) {
+	f := dist.NewFailurePattern(4)
+	o := NewSigmaS(f, dist.NewProcSet(1, 2), 0)
+	out, ok := o.Output(3, 5).(TrustList)
+	if !ok || !out.Bottom {
+		t.Fatalf("p3 ∉ S got %v", out)
+	}
+}
+
+func TestSigmaSCrashedMemberOutputsPi(t *testing.T) {
+	f := dist.CrashPattern(4, 2)
+	o := NewSigmaS(f, dist.NewProcSet(1, 2), 0)
+	out := o.Output(2, 3).(TrustList)
+	if out.Trusted != f.All() {
+		t.Fatalf("crashed member outputs %v, want Π", out)
+	}
+}
+
+func TestCheckSigmaSRejectsDisjointLists(t *testing.T) {
+	f := dist.NewFailurePattern(4)
+	s := dist.NewProcSet(1, 2)
+	bad := sim.HistoryFunc(func(p dist.ProcID, tm dist.Time) any {
+		if !s.Contains(p) {
+			return TrustList{Bottom: true}
+		}
+		return TrustList{Trusted: dist.NewProcSet(p)} // {1} vs {2}: disjoint
+	})
+	vs := CheckSigmaS(f, s, bad, 50, 25)
+	if len(vs) == 0 {
+		t.Fatal("disjoint trust lists accepted")
+	}
+	if vs[len(vs)-1].Property != "intersection" {
+		t.Fatalf("got %v, want intersection violation", vs)
+	}
+}
+
+func TestCheckSigmaSRejectsIncomplete(t *testing.T) {
+	f := dist.CrashPattern(4, 4)
+	s := f.All()
+	bad := sim.HistoryFunc(func(p dist.ProcID, tm dist.Time) any {
+		return TrustList{Trusted: f.All()} // trusts the crashed p4 forever
+	})
+	vs := CheckSigmaS(f, s, bad, 50, 25)
+	if len(vs) == 0 || vs[0].Property != "completeness" {
+		t.Fatalf("got %v, want completeness violation", vs)
+	}
+}
+
+func TestCheckSigmaSRejectsEmptyList(t *testing.T) {
+	f := dist.NewFailurePattern(3)
+	bad := sim.HistoryFunc(func(p dist.ProcID, tm dist.Time) any {
+		return TrustList{} // ∅ violates intersection by itself
+	})
+	vs := CheckSigmaS(f, f.All(), bad, 10, 5)
+	if len(vs) == 0 || vs[0].Property != "intersection" {
+		t.Fatalf("got %v", vs)
+	}
+}
+
+func TestOmegaOracleValid(t *testing.T) {
+	for _, f := range patterns5() {
+		o := &OmegaOracle{F: f, Stab: 20}
+		if vs := CheckOmega(f, o, 150, 100); len(vs) != 0 {
+			t.Fatalf("%v: %v", f, vs)
+		}
+	}
+}
+
+func TestCheckOmegaRejectsFlapping(t *testing.T) {
+	f := dist.NewFailurePattern(3)
+	bad := sim.HistoryFunc(func(p dist.ProcID, tm dist.Time) any {
+		return dist.ProcID(1 + int64(tm)%3)
+	})
+	if vs := CheckOmega(f, bad, 100, 50); len(vs) == 0 {
+		t.Fatal("flapping leader accepted")
+	}
+}
+
+func TestPerfectOracleValid(t *testing.T) {
+	f := dist.NewFailurePattern(5)
+	f.CrashAt(3, 10)
+	o := &PerfectOracle{F: f, Lag: 5}
+	if vs := CheckPerfect(f, o, 100, 40); len(vs) != 0 {
+		t.Fatalf("%v", vs)
+	}
+}
+
+func TestEventuallyPerfectOracleEventuallyAccurate(t *testing.T) {
+	f := dist.CrashPattern(5, 4)
+	o := &EventuallyPerfectOracle{F: f, Stab: 30}
+	// After stabilization ◇P behaves like P.
+	for _, p := range f.Correct().Members() {
+		for tm := dist.Time(30); tm < 80; tm++ {
+			s := o.Output(p, tm).(Suspects)
+			if s.Suspected != dist.NewProcSet(4) {
+				t.Fatalf("H(p%d,%d)=%v", int(p), int64(tm), s)
+			}
+		}
+	}
+}
+
+func TestAntiOmegaOracleValid(t *testing.T) {
+	for _, f := range patterns5() {
+		o := &AntiOmegaOracle{F: f, Stab: 20}
+		if vs := CheckAntiOmega(f, o, 150, 100); len(vs) != 0 {
+			t.Fatalf("%v: %v", f, vs)
+		}
+	}
+}
+
+func TestCheckAntiOmegaRejectsCoveringAll(t *testing.T) {
+	f := dist.NewFailurePattern(3)
+	bad := sim.HistoryFunc(func(p dist.ProcID, tm dist.Time) any {
+		return dist.ProcID(1 + int64(tm)%3) // every id forever
+	})
+	if vs := CheckAntiOmega(f, bad, 100, 50); len(vs) == 0 {
+		t.Fatal("rotating-forever anti-Ω accepted")
+	}
+}
+
+func TestMajoritySigmaEmulation(t *testing.T) {
+	cases := []*dist.FailurePattern{
+		dist.NewFailurePattern(5),
+		dist.CrashPattern(5, 5),
+		func() *dist.FailurePattern { f := dist.NewFailurePattern(5); f.CrashAt(4, 50); return f }(),
+		dist.NewFailurePattern(3),
+	}
+	for _, f := range cases {
+		for seed := int64(0); seed < 5; seed++ {
+			horizon := int64(2500)
+			res, err := sim.Run(sim.Config{
+				Pattern:   f,
+				History:   sim.HistoryFunc(func(dist.ProcID, dist.Time) any { return nil }),
+				Program:   MajoritySigmaProgram(f.All()),
+				Scheduler: sim.NewRandomScheduler(seed),
+				MaxSteps:  horizon,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hist := ClampCrashedToPi(
+				&RecordedHistory{Trace: res.Trace, Default: TrustList{Trusted: f.All()}},
+				f, f.All())
+			if vs := CheckSigmaS(f, f.All(), hist, dist.Time(horizon), dist.Time(horizon*3/4)); len(vs) != 0 {
+				t.Fatalf("%v seed=%d: %v", f, seed, vs)
+			}
+		}
+	}
+}
+
+func TestMajoritySigmaRestrictedS(t *testing.T) {
+	f := dist.NewFailurePattern(5)
+	s := dist.NewProcSet(2, 4)
+	horizon := int64(1500)
+	res, err := sim.Run(sim.Config{
+		Pattern:   f,
+		History:   sim.HistoryFunc(func(dist.ProcID, dist.Time) any { return nil }),
+		Program:   MajoritySigmaProgram(s),
+		Scheduler: sim.NewRandomScheduler(3),
+		MaxSteps:  horizon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := ClampCrashedToPi(&RecordedHistory{Trace: res.Trace, Default: TrustList{Bottom: true}}, f, s)
+	// Non-members output ⊥; wrap defaults accordingly by overriding.
+	wrapped := sim.HistoryFunc(func(p dist.ProcID, tm dist.Time) any {
+		if !s.Contains(p) {
+			return TrustList{Bottom: true}
+		}
+		return hist.Output(p, tm)
+	})
+	if vs := CheckSigmaS(f, s, wrapped, dist.Time(horizon), dist.Time(horizon*3/4)); len(vs) != 0 {
+		t.Fatalf("%v", vs)
+	}
+}
+
+// TestMajorityQuorumIntersectionProperty: any two majorities of Π intersect —
+// the property the emulation's correctness rests on.
+func TestMajorityQuorumIntersectionProperty(t *testing.T) {
+	prop := func(rawA, rawB []uint8, nRaw uint8) bool {
+		n := 2 + int(nRaw)%14
+		full := dist.FullSet(n)
+		a, b := full, full
+		// Remove members while keeping a strict majority.
+		for _, r := range rawA {
+			p := dist.ProcID(1 + int(r)%n)
+			if a.Remove(p).Len() >= n/2+1 {
+				a = a.Remove(p)
+			}
+		}
+		for _, r := range rawB {
+			p := dist.ProcID(1 + int(r)%n)
+			if b.Remove(p).Len() >= n/2+1 {
+				b = b.Remove(p)
+			}
+		}
+		return a.Intersects(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordedHistoryDefault(t *testing.T) {
+	h := &RecordedHistory{Trace: &trace.Trace{}, Default: "fallback"}
+	if got := h.Output(1, 5); got != "fallback" {
+		t.Fatalf("Output=%v, want the default before any recorded change", got)
+	}
+}

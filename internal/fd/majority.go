@@ -1,0 +1,88 @@
+package fd
+
+import (
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+// MajoritySigma is the message-passing implementation of Σ_S sketched in
+// Section 2.2 of the paper: in any environment where a majority of processes
+// is correct, every member of S periodically pings all processes, waits for
+// replies from a majority, and outputs the set of processes that replied.
+// Majorities always intersect (Intersection), and once every faulty process
+// has crashed and its in-flight replies have drained, completed rounds
+// contain only correct processes (Completeness).
+//
+// Every process — member of S or not — answers pings: the register shared by
+// S is emulated by all n processes, which is the whole point of the paper's
+// message-passing setting.
+type MajoritySigma struct {
+	self   dist.ProcID
+	n      int
+	s      dist.ProcSet
+	round  int64
+	acks   dist.ProcSet
+	output dist.ProcSet
+}
+
+var _ sim.Emulator = (*MajoritySigma)(nil)
+
+type pingMsg struct{ Round int64 }
+type pongMsg struct{ Round int64 }
+
+// NewMajoritySigma returns the Σ_S emulation automaton for process self.
+func NewMajoritySigma(self dist.ProcID, n int, s dist.ProcSet) *MajoritySigma {
+	return &MajoritySigma{
+		self:   self,
+		n:      n,
+		s:      s,
+		output: dist.FullSet(n), // Π until the first round completes
+	}
+}
+
+// MajoritySigmaProgram returns a Program running the Σ_S emulation at every
+// process.
+func MajoritySigmaProgram(s dist.ProcSet) sim.Program {
+	return func(p dist.ProcID, n int) sim.Automaton {
+		return NewMajoritySigma(p, n, s)
+	}
+}
+
+// Step implements sim.Automaton.
+func (m *MajoritySigma) Step(e *sim.Env) {
+	if payload, from, ok := e.Delivered(); ok {
+		switch msg := payload.(type) {
+		case pingMsg:
+			e.Send(from, pongMsg{Round: msg.Round})
+		case pongMsg:
+			if msg.Round == m.round {
+				m.acks = m.acks.Add(from)
+			}
+		}
+	}
+	if !m.s.Contains(m.self) {
+		return // non-members only serve pings
+	}
+	if m.round == 0 {
+		m.startRound(e)
+		return
+	}
+	if m.acks.Len() >= m.n/2+1 {
+		m.output = m.acks
+		m.startRound(e)
+	}
+}
+
+func (m *MajoritySigma) startRound(e *sim.Env) {
+	m.round++
+	m.acks = dist.NewProcSet(m.self)
+	e.Broadcast(pingMsg{Round: m.round})
+}
+
+// Output implements sim.Emulator: the current Σ_S output of this process.
+func (m *MajoritySigma) Output() any {
+	if !m.s.Contains(m.self) {
+		return TrustList{Bottom: true}
+	}
+	return TrustList{Trusted: m.output}
+}

@@ -1,0 +1,184 @@
+// Package hierarchy derives the failure-detector strictness chain that the
+// paper establishes across Sections 3-5 and the appendix:
+//
+//	Σ₍p,q₎  ≻  σ  ≻  anti-Ω            (two-process register side)
+//	Σ_X₂ₖ   ≻  σ₂ₖ                     (2k-register side)
+//
+// Each ⪯ edge is established by actually running the corresponding emulation
+// (Figures 3, 5, 6) and validating the emulated history against the target
+// class definition; each strictness (⋠ back-edge) by running the
+// corresponding refutation harness (Lemma 7, Lemma 11, Lemma 15 via
+// Corollary 17). The rendered report is the failure-detector-level summary
+// of the paper's results, complementing the task-level lattice of Figure 1.
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/separation"
+	"repro/internal/sim"
+)
+
+// EdgeKind distinguishes reductions from separations.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	// Reduction: From ⪯ To (To is at least as strong; an algorithm emulates
+	// From using To).
+	Reduction EdgeKind = iota + 1
+	// Separation: From ⋠ To (no algorithm emulates From using To).
+	Separation
+)
+
+// Edge is one verified relation between two failure detectors.
+type Edge struct {
+	From, To string
+	Kind     EdgeKind
+	Evidence string
+}
+
+// String renders the edge.
+func (e Edge) String() string {
+	op := "⪯"
+	if e.Kind == Separation {
+		op = "⋠"
+	}
+	return fmt.Sprintf("%s %s %s — %s", e.From, op, e.To, e.Evidence)
+}
+
+// Report is the derived hierarchy for one parameterization.
+type Report struct {
+	N, K  int
+	Edges []Edge
+}
+
+// Config parameterizes Build.
+type Config struct {
+	// N is the system size (≥ 4); K the register half-size for the σₖ side.
+	N, K int
+	// Horizon bounds emulation runs. Default 600.
+	Horizon int64
+	// Seed drives schedules.
+	Seed int64
+}
+
+// Build derives and verifies every edge. Any failed verification returns an
+// error: the hierarchy must be fully machine-checked or not reported at all.
+func Build(cfg Config) (*Report, error) {
+	if cfg.N < 4 {
+		return nil, fmt.Errorf("hierarchy: need n ≥ 4, got %d", cfg.N)
+	}
+	if cfg.K < 1 || 2*cfg.K > cfg.N {
+		return nil, fmt.Errorf("hierarchy: need 1 ≤ k ≤ n/2, got k=%d", cfg.K)
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 600
+	}
+	rep := &Report{N: cfg.N, K: cfg.K}
+	pair := dist.NewProcSet(1, 2)
+	x := dist.RangeSet(1, dist.ProcID(2*cfg.K))
+	f := dist.CrashPattern(cfg.N, dist.ProcID(cfg.N)) // one crashed process
+
+	// σ ⪯ Σ{p,q} (Figure 3 / Lemma 6).
+	resFig3, err := runEmu(f, fd.NewSigmaS(f, pair, 20), core.Fig3Program(pair), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if vs := core.CheckSigma(f, pair, resFig3, dist.Time(cfg.Horizon), dist.Time(cfg.Horizon*3/4)); len(vs) != 0 {
+		return nil, fmt.Errorf("hierarchy: Fig 3 emulation invalid: %v", vs)
+	}
+	rep.add("σ", "Σ{p1,p2}", Reduction, "Figure 3 emulation; emulated history passes the Definition 3 checker")
+
+	// Σ{p,q} ⋠ σ (Lemma 7).
+	cert, err := separation.Lemma7(separation.Lemma7Config{
+		N: cfg.N, Candidate: separation.HeartbeatCandidate(pair, 10), Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.add("Σ{p1,p2}", "σ", Separation, cert.String())
+
+	// anti-Ω ⪯ σ (Figure 6 / Lemma 16).
+	sigmaOracle, err := core.NewSigmaOracle(f, pair, 25, core.SigmaCanonical)
+	if err != nil {
+		return nil, err
+	}
+	resFig6, err := runEmu(f, sigmaOracle, core.Fig6Program(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if vs := fd.CheckAntiOmega(f, resFig6, dist.Time(cfg.Horizon), dist.Time(cfg.Horizon*3/4)); len(vs) != 0 {
+		return nil, fmt.Errorf("hierarchy: Fig 6 emulation invalid: %v", vs)
+	}
+	rep.add("anti-Ω", "σ", Reduction, "Figure 6 emulation; emulated history passes the anti-Ω checker")
+
+	// σ ⋠ anti-Ω (Corollary 17, via Lemma 15: anti-Ω cannot even solve set
+	// agreement, which σ solves by Figure 2).
+	cert15, err := separation.Lemma15(separation.Lemma15Config{
+		N: cfg.N, Candidate: separation.EagerMinCandidate(8),
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.add("σ", "anti-Ω", Separation,
+		fmt.Sprintf("Corollary 17: σ solves set agreement (E1) but anti-Ω does not — %s", cert15))
+
+	// σₖ side: σ₂ₖ ⪯ Σ_X₂ₖ (Figure 5 / Lemma 10).
+	resFig5, err := runEmu(f, fd.NewSigmaS(f, x, 20), core.Fig5Program(x), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if vs := core.CheckSigmaK(f, x, resFig5, dist.Time(cfg.Horizon), dist.Time(cfg.Horizon*3/4)); len(vs) != 0 {
+		return nil, fmt.Errorf("hierarchy: Fig 5 emulation invalid: %v", vs)
+	}
+	sk := fmt.Sprintf("σ%d", 2*cfg.K)
+	sx := fmt.Sprintf("Σ_X%d", 2*cfg.K)
+	rep.add(sk, sx, Reduction, "Figure 5 emulation; emulated history passes the Definition 9 checker")
+
+	// Σ_X₂ₖ ⋠ σ₂ₖ (Lemma 11).
+	cert11, err := separation.Lemma11(separation.Lemma11Config{
+		N: cfg.N, K: cfg.K,
+		Candidate: separation.HeartbeatSetCandidate(x, 10),
+		Seed:      cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.add(sx, sk, Separation, cert11.String())
+
+	return rep, nil
+}
+
+func (r *Report) add(from, to string, kind EdgeKind, evidence string) {
+	r.Edges = append(r.Edges, Edge{From: from, To: to, Kind: kind, Evidence: evidence})
+}
+
+func runEmu(f *dist.FailurePattern, h sim.History, prog sim.Program, cfg Config) (fd.History, error) {
+	res, err := sim.Run(sim.Config{
+		Pattern:   f,
+		History:   h,
+		Program:   prog,
+		Scheduler: sim.NewRandomScheduler(cfg.Seed),
+		MaxSteps:  cfg.Horizon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &fd.RecordedHistory{Trace: res.Trace}, nil
+}
+
+// Render prints the hierarchy with the strict chains made explicit.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Failure-detector hierarchy, machine-checked for n = %d, k = %d\n\n", r.N, r.K)
+	fmt.Fprintf(&b, "  strict chains:  Σ{p1,p2} ≻ σ ≻ anti-Ω        Σ_X%d ≻ σ%d\n\n", 2*r.K, 2*r.K)
+	for _, e := range r.Edges {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuild(t *testing.T) {
+	rep, err := Build(Config{N: 5, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Edges) != 6 {
+		t.Fatalf("got %d edges, want 6:\n%s", len(rep.Edges), rep.Render())
+	}
+	kinds := []EdgeKind{Reduction, Separation, Reduction, Separation, Reduction, Separation}
+	for i, e := range rep.Edges {
+		if e.Kind != kinds[i] {
+			t.Fatalf("edge %d (%s): kind=%d, want %d", i, e, e.Kind, kinds[i])
+		}
+	}
+	out := rep.Render()
+	for _, want := range []string{"σ ⪯ Σ{p1,p2}", "Σ{p1,p2} ⋠ σ", "anti-Ω ⪯ σ", "σ ⋠ anti-Ω", "σ4 ⪯ Σ_X4", "Σ_X4 ⋠ σ4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildParamSweep(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{4, 1}, {6, 2}, {6, 3}, {8, 3}} {
+		if _, err := Build(Config{N: tc.n, K: tc.k, Seed: int64(tc.n)}); err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+	}
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	if _, err := Build(Config{N: 3, K: 1}); err == nil {
+		t.Fatal("n=3 accepted")
+	}
+	if _, err := Build(Config{N: 6, K: 4}); err == nil {
+		t.Fatal("k>n/2 accepted")
+	}
+}

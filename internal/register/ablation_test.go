@@ -1,0 +1,191 @@
+package register
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/sim"
+)
+
+// The E12b ablation: ABD without the read write-back phase is NOT atomic.
+// The construction stages a new/old inversion deterministically:
+//
+//   - p1 writes; its store messages reach only replica p2 (the rest are
+//     delayed), so the write stays pending with the new value visible at a
+//     single replica.
+//   - p2 reads with quorum {1,2,5}: its own replica already holds the new
+//     value, so the read returns it ... and without write-back nothing is
+//     propagated.
+//   - p3 then reads with quorum {3,4,5} — valid for Σ_S, it intersects the
+//     others at p5 — which holds only the old value: the read returns 0.
+//
+// p2's read precedes p3's read in real time but observes the newer value:
+// a new/old inversion. With the write-back enabled, the same schedule is
+// linearizable because p2's read pushes the new value to a full quorum
+// before returning.
+func runInversionScenario(t *testing.T, writeBack bool) (ops []OpRecord, linearizable bool) {
+	t.Helper()
+	const n = 5
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2, 3)
+
+	scripts := make([][]Op, n)
+	scripts[0] = []Op{{Kind: WriteOp, Arg: 42}}
+	scripts[1] = []Op{{Kind: ReadOp}}
+	scripts[2] = []Op{{Kind: ReadOp}}
+
+	// A valid Σ_S history with hand-picked, pairwise-intersecting quorums:
+	// the writer works against {1,4,5}, reader p2 against {1,2,5}, reader p3
+	// against {3,4,5} — every pair intersects.
+	trusted := map[dist.ProcID]dist.ProcSet{
+		1: dist.NewProcSet(1, 4, 5),
+		2: dist.NewProcSet(1, 2, 5),
+		3: dist.NewProcSet(3, 4, 5),
+	}
+	hist := sim.HistoryFunc(func(p dist.ProcID, tm dist.Time) any {
+		q, ok := trusted[p]
+		if !ok {
+			return fd.TrustList{Bottom: true}
+		}
+		return fd.TrustList{Trusted: q}
+	})
+
+	prog := func(p dist.ProcID, nn int) sim.Automaton {
+		node := NewNode(p, nn, s, scripts[p-1])
+		if !writeBack {
+			node.DisableReadWriteBack()
+		}
+		return node
+	}
+
+	// Phase A0: the writer completes its query phase against {1,4,5} and
+	// broadcasts the store; only the store to p2 is deliverable. Phase A1:
+	// p2 joins — its first step delivers the store (its only pending
+	// message), so its read starts on a replica already holding the new
+	// value. Phase B: p3 reads against {3,4,5}, which still hold the old
+	// value.
+	var script []sim.Choice
+	for i := 0; i < 40; i++ {
+		script = append(script, sim.Steps(sim.DeliverAuto, 1, 1, 4, 5)...)
+	}
+	for i := 0; i < 120; i++ {
+		script = append(script, sim.Steps(sim.DeliverAuto, 1, 2, 1, 5)...)
+	}
+	for i := 0; i < 120; i++ {
+		script = append(script, sim.Steps(sim.DeliverAuto, 1, 3, 4, 5)...)
+	}
+
+	res, err := sim.Run(sim.Config{
+		Pattern:   f,
+		History:   hist,
+		Program:   prog,
+		Scheduler: &sim.ScriptedScheduler{Script: script, Then: sim.NewRandomScheduler(1)},
+		MaxSteps:  5000,
+		DeliveryFilter: func(m *sim.Message, now dist.Time) bool {
+			switch m.Payload.(type) {
+			case storeReq:
+				if m.From == 1 && m.To != 2 {
+					return now > 900 // the write stays pending at {1,2} only
+				}
+			case queryReq:
+				if m.From == 1 && m.To == 2 {
+					return now > 900 // keep p2's inbox clean for the store
+				}
+			}
+			return true
+		},
+		StopWhen: func(sn *sim.Snapshot) bool {
+			n2, ok2 := sn.Automaton(2).(*Node)
+			n3, ok3 := sn.Automaton(3).(*Node)
+			return ok2 && ok3 && n2.Done() && n3.Done() && sn.Now() > 950
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops = ExtractOps(res.Trace)
+	linearizable, err = CheckLinearizable(ops, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ops, linearizable
+}
+
+func TestNoWriteBackBreaksAtomicity(t *testing.T) {
+	ops, linearizable := runInversionScenario(t, false)
+	if linearizable {
+		t.Fatalf("expected a new/old inversion without write-back, but the history linearizes:\n%s",
+			ExplainNonLinearizable(ops))
+	}
+	// Confirm the specific inversion shape: p2 read new, p3 read old, in
+	// real-time order.
+	var r2, r3 *OpRecord
+	for i := range ops {
+		o := &ops[i]
+		if o.Kind == ReadOp && o.Proc == 2 {
+			r2 = o
+		}
+		if o.Kind == ReadOp && o.Proc == 3 {
+			r3 = o
+		}
+	}
+	if r2 == nil || r3 == nil || !r2.Complete || !r3.Complete {
+		t.Fatalf("missing reads: %v", ops)
+	}
+	if !(r2.Ret == 42 && r3.Ret == 0 && r2.Returned < r3.Invoked) {
+		t.Fatalf("expected new-then-old inversion, got p2=%v p3=%v", r2, r3)
+	}
+}
+
+func TestWriteBackRestoresAtomicity(t *testing.T) {
+	ops, linearizable := runInversionScenario(t, true)
+	if !linearizable {
+		t.Fatalf("with write-back the same schedule must linearize:\n%s", ExplainNonLinearizable(ops))
+	}
+}
+
+func TestRandomWorkloadsLinearizable(t *testing.T) {
+	// Integration sweep: random mixed workloads with mid-run replica
+	// crashes stay linearizable.
+	const n = 5
+	s := dist.NewProcSet(1, 2, 3)
+	for seed := int64(0); seed < 12; seed++ {
+		scripts := GenerateWorkload(WorkloadConfig{
+			N: n, S: s, OpsPerClient: 4, WriteRatio: 0.5, Seed: seed,
+		})
+		f := dist.NewFailurePattern(n)
+		if seed%3 == 0 {
+			f.CrashAt(5, dist.Time(40+seed))
+		}
+		res, err := sim.Run(sim.Config{
+			Pattern:   f,
+			History:   fd.NewSigmaS(f, s, 120),
+			Program:   Program(s, scripts),
+			Scheduler: sim.NewRandomScheduler(seed),
+			MaxSteps:  80_000,
+			StopWhen: func(sn *sim.Snapshot) bool {
+				for _, p := range s.Members() {
+					if node, ok := sn.Automaton(p).(*Node); !ok || !node.Done() {
+						return false
+					}
+				}
+				return true
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := ExtractOps(res.Trace)
+		if want := TotalOps(scripts); len(ops) != want {
+			t.Fatalf("seed=%d: %d ops recorded, want %d", seed, len(ops), want)
+		}
+		ok, err := CheckLinearizable(ops, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("seed=%d: %s", seed, ExplainNonLinearizable(ops))
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package register
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+// OpRecord is one completed-or-pending register operation extracted from a
+// run trace, with its real-time invocation/response window.
+type OpRecord struct {
+	Proc     dist.ProcID
+	Seq      int64
+	Kind     OpKind
+	Arg      Value // written value
+	Ret      Value // read result
+	Invoked  dist.Time
+	Returned dist.Time
+	Complete bool
+}
+
+// String renders the record.
+func (o OpRecord) String() string {
+	body := fmt.Sprintf("write(%d)", int64(o.Arg))
+	if o.Kind == ReadOp {
+		body = fmt.Sprintf("read()=%d", int64(o.Ret))
+	}
+	end := "…"
+	if o.Complete {
+		end = fmt.Sprintf("%d", int64(o.Returned))
+	}
+	return fmt.Sprintf("p%d %s [%d,%s]", int(o.Proc), body, int64(o.Invoked), end)
+}
+
+// ExtractOps pairs the Invoke/Return events of a trace into operation
+// records, ordered by invocation time.
+func ExtractOps(tr *trace.Trace) []OpRecord {
+	type key struct {
+		p   dist.ProcID
+		seq int64
+	}
+	idx := make(map[key]int)
+	var ops []OpRecord
+	for _, e := range tr.Events() {
+		desc, ok := e.Payload.(OpDesc)
+		if !ok {
+			continue
+		}
+		k := key{p: e.P, seq: e.Seq}
+		switch e.Kind {
+		case trace.InvokeKind:
+			idx[k] = len(ops)
+			ops = append(ops, OpRecord{
+				Proc: e.P, Seq: e.Seq, Kind: desc.Kind, Arg: desc.Arg, Invoked: e.T,
+			})
+		case trace.ReturnKind:
+			if i, found := idx[k]; found {
+				ops[i].Returned = e.T
+				ops[i].Ret = desc.Ret
+				ops[i].Complete = true
+			}
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoked < ops[j].Invoked })
+	return ops
+}
+
+// CheckLinearizable decides whether a register history is linearizable with
+// respect to the atomic read/write register starting at `initial`, using
+// Wing-Gong exhaustive search with memoization. Incomplete operations
+// (pending at the end of the run) may linearize or be dropped.
+//
+// The search is exponential in the width of concurrency but histories of up
+// to 64 operations check instantly at the concurrency levels the simulator
+// produces. More than 64 operations is a setup error.
+func CheckLinearizable(ops []OpRecord, initial Value) (bool, error) {
+	if len(ops) > 64 {
+		return false, fmt.Errorf("register: history of %d ops exceeds the checker's 64-op limit", len(ops))
+	}
+	c := linChecker{ops: ops, memo: make(map[linState]bool)}
+	var completeMask uint64
+	for i, o := range ops {
+		if o.Complete {
+			completeMask |= 1 << uint(i)
+		}
+	}
+	c.completeMask = completeMask
+	if c.search(0, initial) {
+		return true, nil
+	}
+	return false, nil
+}
+
+type linState struct {
+	mask uint64
+	cur  Value
+}
+
+type linChecker struct {
+	ops          []OpRecord
+	completeMask uint64
+	memo         map[linState]bool
+}
+
+// search tries to extend a linearization in which the operations of `mask`
+// have taken effect and the register currently holds cur.
+func (c *linChecker) search(mask uint64, cur Value) bool {
+	if mask&c.completeMask == c.completeMask {
+		return true // every complete op linearized; pending ops may be dropped
+	}
+	st := linState{mask: mask, cur: cur}
+	if v, ok := c.memo[st]; ok {
+		return v
+	}
+	c.memo[st] = false // guard against re-entry; overwritten below
+
+	// minRet is the earliest response among unlinearized complete ops: an
+	// operation may linearize next only if it was invoked at or before that
+	// response (otherwise the completed op would have to precede it).
+	minRet := dist.Time(1<<62 - 1)
+	for i, o := range c.ops {
+		if mask&(1<<uint(i)) == 0 && o.Complete && o.Returned < minRet {
+			minRet = o.Returned
+		}
+	}
+	ok := false
+	for i, o := range c.ops {
+		bit := uint64(1) << uint(i)
+		if mask&bit != 0 || o.Invoked > minRet {
+			continue
+		}
+		switch o.Kind {
+		case WriteOp:
+			if c.search(mask|bit, o.Arg) {
+				ok = true
+			}
+		case ReadOp:
+			if (!o.Complete || o.Ret == cur) && c.search(mask|bit, cur) {
+				ok = true
+			}
+		}
+		if ok {
+			break
+		}
+	}
+	c.memo[st] = ok
+	return ok
+}
+
+// ExplainNonLinearizable renders a short description of the history for
+// failure messages.
+func ExplainNonLinearizable(ops []OpRecord) string {
+	s := "history not linearizable:"
+	for _, o := range ops {
+		s += "\n  " + o.String()
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package register
+
+import (
+	"math/rand"
+
+	"repro/internal/dist"
+)
+
+// WorkloadConfig parameterizes the random script generator used by the
+// integration tests and benchmarks.
+type WorkloadConfig struct {
+	// N is the system size; S the register's member set.
+	N int
+	S dist.ProcSet
+	// OpsPerClient is the script length at each member of S.
+	OpsPerClient int
+	// WriteRatio ∈ [0,1] is the fraction of writes. Default 0.5.
+	WriteRatio float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+// GenerateWorkload builds per-process scripts (index ProcID-1): members of S
+// receive a random read/write mix with globally unique write values,
+// everyone else gets a nil script (pure replica).
+func GenerateWorkload(cfg WorkloadConfig) [][]Op {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ratio := cfg.WriteRatio
+	if ratio == 0 {
+		ratio = 0.5
+	}
+	scripts := make([][]Op, cfg.N)
+	for _, p := range cfg.S.Members() {
+		sc := make([]Op, 0, cfg.OpsPerClient)
+		for i := 0; i < cfg.OpsPerClient; i++ {
+			if rng.Float64() < ratio {
+				sc = append(sc, Op{Kind: WriteOp})
+			} else {
+				sc = append(sc, Op{Kind: ReadOp})
+			}
+		}
+		scripts[p-1] = sc
+	}
+	return UniqueWrites(scripts)
+}
+
+// TotalOps counts the scripted operations.
+func TotalOps(scripts [][]Op) int {
+	total := 0
+	for _, sc := range scripts {
+		total += len(sc)
+	}
+	return total
+}

@@ -1,0 +1,144 @@
+package separation
+
+import (
+	"repro/internal/agreement"
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+// Candidate set-agreement algorithms over anti-Ω for the Lemma 15 harness.
+// Lemma 15 proves *no* algorithm works; these are the natural attempts, and
+// the harness exhibits the concrete violating runs for each.
+
+type candidateVal struct {
+	V agreement.Value
+	P dist.ProcID
+}
+
+// ImpatientCandidate decides its own value at its first step. Termination
+// and Validity are immediate; the Lemma 15 chain produces the all-correct
+// run in which all n values are decided.
+func ImpatientCandidate(self dist.ProcID, n int, proposal agreement.Value) sim.Automaton {
+	return &impatient{v: proposal}
+}
+
+type impatient struct {
+	v    agreement.Value
+	done bool
+}
+
+func (a *impatient) Step(e *sim.Env) {
+	if !a.done {
+		e.Broadcast(candidateVal{V: a.v, P: e.Self()})
+		e.Decide(a.v)
+		a.done = true
+	}
+}
+
+// DeferringCandidate is the serious attempt: broadcast the proposal, collect
+// values, and while waiting consult anti-Ω. The intuition is that the
+// anti-leader should not push its own value, so a process decides the
+// smallest value heard once anti-Ω has named it (the process) "expendable"
+// enough times in a row — if nobody else is heard, its own value is all it
+// has. Solo runs force it to decide alone, and the chain construction then
+// assembles the n-valued all-correct run.
+func DeferringCandidate(patience int) AlgorithmProgram {
+	return func(self dist.ProcID, n int, proposal agreement.Value) sim.Automaton {
+		return &deferring{self: self, v: proposal, patience: patience}
+	}
+}
+
+type deferring struct {
+	self     dist.ProcID
+	v        agreement.Value
+	patience int
+
+	sent    bool
+	done    bool
+	heard   []agreement.Value
+	namedMe int
+}
+
+func (a *deferring) Step(e *sim.Env) {
+	if a.done {
+		return
+	}
+	if payload, _, ok := e.Delivered(); ok {
+		if cv, isVal := payload.(candidateVal); isVal {
+			a.heard = append(a.heard, cv.V)
+		}
+	}
+	if !a.sent {
+		e.Broadcast(candidateVal{V: a.v, P: a.self})
+		a.sent = true
+		return
+	}
+	// Another process's value arrived: adopt the smallest known ≠ own.
+	if len(a.heard) > 0 {
+		best := a.heard[0]
+		for _, v := range a.heard[1:] {
+			if v < best {
+				best = v
+			}
+		}
+		e.Broadcast(candidateVal{V: best, P: a.self})
+		e.Decide(best)
+		a.done = true
+		return
+	}
+	// Alone so far: anti-Ω naming us repeatedly is the only progress signal
+	// available; after `patience` namings decide the own value.
+	if id, ok := e.QueryFD().(dist.ProcID); ok && id == a.self {
+		a.namedMe++
+		if a.namedMe >= a.patience {
+			e.Decide(a.v)
+			a.done = true
+		}
+	}
+}
+
+// EagerMinCandidate waits a fixed number of its own steps for other values,
+// then decides the minimum heard (its own if none). Step counting is the
+// only "timeout" available to an asynchronous process; the chain
+// construction outwaits any such bound.
+func EagerMinCandidate(waitSteps int) AlgorithmProgram {
+	return func(self dist.ProcID, n int, proposal agreement.Value) sim.Automaton {
+		return &eagerMin{self: self, v: proposal, wait: waitSteps}
+	}
+}
+
+type eagerMin struct {
+	self  dist.ProcID
+	v     agreement.Value
+	wait  int
+	steps int
+	done  bool
+	best  agreement.Value
+	any   bool
+}
+
+func (a *eagerMin) Step(e *sim.Env) {
+	if a.done {
+		return
+	}
+	if a.steps == 0 {
+		e.Broadcast(candidateVal{V: a.v, P: a.self})
+	}
+	a.steps++
+	if payload, _, ok := e.Delivered(); ok {
+		if cv, isVal := payload.(candidateVal); isVal {
+			if !a.any || cv.V < a.best {
+				a.best, a.any = cv.V, true
+			}
+		}
+	}
+	if a.steps < a.wait {
+		return
+	}
+	v := a.v
+	if a.any && a.best < v {
+		v = a.best
+	}
+	e.Decide(v)
+	a.done = true
+}

@@ -1,0 +1,197 @@
+package separation
+
+import (
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/sim"
+)
+
+// This file ships the natural candidate algorithms the refutation harnesses
+// defeat. Each is a genuine best effort — the kind of construction one would
+// try before reading the proof — and each loses to the adversarial runs in a
+// different way, which is exactly the content of the impossibility results.
+
+// HeartbeatPairEmulator is the canonical candidate for emulating Σ₍p,q₎ from
+// σ: the two members ping each other, trust {p, q} while the peer responds,
+// and fall back to {self} after missing Patience consecutive steps without
+// news from the peer. It satisfies Completeness in every run — and for that
+// very reason the Lemma 7 construction defeats its Intersection: the silent
+// peer may just be slow, and in the indistinguishable twin run the peer
+// makes the symmetric decision.
+type HeartbeatPairEmulator struct {
+	self     dist.ProcID
+	pair     dist.ProcSet
+	patience int
+	silent   int
+	out      fd.TrustList
+}
+
+var _ sim.Emulator = (*HeartbeatPairEmulator)(nil)
+
+type heartbeatMsg struct{}
+
+// NewHeartbeatPairEmulator builds the candidate for process self; peers is
+// the pair {p, q} whose register the emulated Σ should support.
+func NewHeartbeatPairEmulator(self dist.ProcID, pair dist.ProcSet, patience int) *HeartbeatPairEmulator {
+	e := &HeartbeatPairEmulator{self: self, pair: pair, patience: patience}
+	if pair.Contains(self) {
+		e.out = fd.TrustList{Trusted: pair}
+	} else {
+		e.out = fd.TrustList{Bottom: true}
+	}
+	return e
+}
+
+// HeartbeatCandidate adapts the emulator to the harness's EmulatorProgram.
+func HeartbeatCandidate(pair dist.ProcSet, patience int) EmulatorProgram {
+	return func(self dist.ProcID, n int) sim.Emulator {
+		return NewHeartbeatPairEmulator(self, pair, patience)
+	}
+}
+
+// Step implements sim.Automaton.
+func (e *HeartbeatPairEmulator) Step(env *sim.Env) {
+	if !e.pair.Contains(e.self) {
+		return
+	}
+	peerAlive := false
+	if _, from, ok := env.Delivered(); ok {
+		if e.pair.Contains(from) && from != e.self {
+			peerAlive = true
+		}
+	}
+	for _, peer := range e.pair.Members() {
+		if peer != e.self {
+			env.Send(peer, heartbeatMsg{})
+		}
+	}
+	if peerAlive {
+		e.silent = 0
+		e.out = fd.TrustList{Trusted: e.pair}
+		return
+	}
+	e.silent++
+	if e.silent > e.patience {
+		e.out = fd.TrustList{Trusted: dist.NewProcSet(e.self)}
+	}
+}
+
+// Output implements sim.Emulator.
+func (e *HeartbeatPairEmulator) Output() any { return e.out }
+
+// StubbornPairEmulator always outputs the full pair. Its Intersection is
+// unbreakable — so the Lemma 7 construction defeats its Completeness
+// instead: in run r it trusts the crashed q forever.
+type StubbornPairEmulator struct {
+	self dist.ProcID
+	out  fd.TrustList
+}
+
+var _ sim.Emulator = (*StubbornPairEmulator)(nil)
+
+// StubbornCandidate returns the constant-{p,q} candidate.
+func StubbornCandidate(pair dist.ProcSet) EmulatorProgram {
+	return func(self dist.ProcID, n int) sim.Emulator {
+		out := fd.TrustList{Trusted: pair}
+		if !pair.Contains(self) {
+			out = fd.TrustList{Bottom: true}
+		}
+		return &StubbornPairEmulator{self: self, out: out}
+	}
+}
+
+// Step implements sim.Automaton.
+func (e *StubbornPairEmulator) Step(env *sim.Env) {}
+
+// Output implements sim.Emulator.
+func (e *StubbornPairEmulator) Output() any { return e.out }
+
+// SigmaRelayEmulator forwards σ's own output whenever it is non-empty and
+// holds the last non-empty value otherwise (starting from the full pair).
+// Lemma 7's silent σ history starves it: it never learns anything in run r,
+// so Completeness breaks.
+type SigmaRelayEmulator struct {
+	self dist.ProcID
+	pair dist.ProcSet
+	out  fd.TrustList
+}
+
+var _ sim.Emulator = (*SigmaRelayEmulator)(nil)
+
+// SigmaRelayCandidate returns the σ-forwarding candidate.
+func SigmaRelayCandidate(pair dist.ProcSet) EmulatorProgram {
+	return func(self dist.ProcID, n int) sim.Emulator {
+		out := fd.TrustList{Trusted: pair}
+		if !pair.Contains(self) {
+			out = fd.TrustList{Bottom: true}
+		}
+		return &SigmaRelayEmulator{self: self, pair: pair, out: out}
+	}
+}
+
+// Step implements sim.Automaton.
+func (e *SigmaRelayEmulator) Step(env *sim.Env) {
+	if !e.pair.Contains(e.self) {
+		return
+	}
+	if so, ok := env.QueryFD().(core.SigmaOut); ok && !so.Bottom && !so.Trusted.IsEmpty() {
+		e.out = fd.TrustList{Trusted: so.Trusted}
+	}
+}
+
+// Output implements sim.Emulator.
+func (e *SigmaRelayEmulator) Output() any { return e.out }
+
+// HeartbeatSetEmulator generalizes HeartbeatPairEmulator to an arbitrary
+// member set X for the Lemma 11 construction (candidate emulation of Σ_X
+// from σ₂ₖ): members trust the X-processes heard from recently, falling back
+// towards {self}.
+type HeartbeatSetEmulator struct {
+	self     dist.ProcID
+	x        dist.ProcSet
+	patience int
+	silence  map[dist.ProcID]int
+	out      fd.TrustList
+}
+
+var _ sim.Emulator = (*HeartbeatSetEmulator)(nil)
+
+// HeartbeatSetCandidate returns the quorum-heartbeat candidate for Σ_X.
+func HeartbeatSetCandidate(x dist.ProcSet, patience int) EmulatorProgram {
+	return func(self dist.ProcID, n int) sim.Emulator {
+		e := &HeartbeatSetEmulator{self: self, x: x, patience: patience, silence: make(map[dist.ProcID]int)}
+		if x.Contains(self) {
+			e.out = fd.TrustList{Trusted: x}
+		} else {
+			e.out = fd.TrustList{Bottom: true}
+		}
+		return e
+	}
+}
+
+// Step implements sim.Automaton.
+func (e *HeartbeatSetEmulator) Step(env *sim.Env) {
+	if !e.x.Contains(e.self) {
+		return
+	}
+	if _, from, ok := env.Delivered(); ok && e.x.Contains(from) {
+		e.silence[from] = 0
+	}
+	for _, peer := range e.x.Members() {
+		if peer != e.self {
+			env.Send(peer, heartbeatMsg{})
+			e.silence[peer]++
+		}
+	}
+	trusted := dist.NewProcSet(e.self)
+	for _, peer := range e.x.Members() {
+		if peer != e.self && e.silence[peer] <= e.patience {
+			trusted = trusted.Add(peer)
+		}
+	}
+	e.out = fd.TrustList{Trusted: trusted}
+}
+
+// Output implements sim.Emulator.
+func (e *HeartbeatSetEmulator) Output() any { return e.out }

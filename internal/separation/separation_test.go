@@ -1,0 +1,172 @@
+package separation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+func TestLemma7DefeatsHeartbeat(t *testing.T) {
+	pair := dist.NewProcSet(1, 2)
+	for _, patience := range []int{3, 10, 40} {
+		cert, err := Lemma7(Lemma7Config{
+			N:         3,
+			Candidate: HeartbeatCandidate(pair, patience),
+			Seed:      int64(patience),
+		})
+		if err != nil {
+			t.Fatalf("patience=%d: %v", patience, err)
+		}
+		if cert.Property != "intersection" {
+			t.Fatalf("patience=%d: got %s, want intersection certificate", patience, cert)
+		}
+		if !cert.ReplayVerified {
+			t.Fatalf("patience=%d: replay not verified: %s", patience, cert)
+		}
+	}
+}
+
+func TestLemma7DefeatsStubborn(t *testing.T) {
+	pair := dist.NewProcSet(1, 2)
+	cert, err := Lemma7(Lemma7Config{N: 3, Candidate: StubbornCandidate(pair)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Property != "completeness" {
+		t.Fatalf("got %s, want completeness certificate", cert)
+	}
+}
+
+func TestLemma7DefeatsSigmaRelay(t *testing.T) {
+	pair := dist.NewProcSet(1, 2)
+	cert, err := Lemma7(Lemma7Config{N: 3, Candidate: SigmaRelayCandidate(pair)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Property != "completeness" {
+		t.Fatalf("got %s, want completeness certificate", cert)
+	}
+}
+
+func TestLemma7LargerSystems(t *testing.T) {
+	for n := 3; n <= 7; n++ {
+		pair := dist.NewProcSet(1, 2)
+		cert, err := Lemma7(Lemma7Config{N: n, Candidate: HeartbeatCandidate(pair, 8), Seed: int64(n)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if cert.Property != "intersection" {
+			t.Fatalf("n=%d: %s", n, cert)
+		}
+	}
+}
+
+func TestLemma11General(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{5, 2}, {6, 2}, {8, 3}} {
+		x := dist.RangeSet(1, dist.ProcID(2*tc.k))
+		cert, err := Lemma11(Lemma11Config{
+			N: tc.n, K: tc.k,
+			Candidate: HeartbeatSetCandidate(x, 10),
+			Seed:      int64(tc.n),
+		})
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if cert.Property != "intersection" && cert.Property != "completeness" {
+			t.Fatalf("n=%d k=%d: unexpected certificate %s", tc.n, tc.k, cert)
+		}
+		if !cert.ReplayVerified && cert.Property == "intersection" {
+			t.Fatalf("n=%d k=%d: replay not verified: %s", tc.n, tc.k, cert)
+		}
+	}
+}
+
+func TestLemma11NEquals2K(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{4, 2}, {6, 3}, {8, 4}} {
+		x := dist.RangeSet(1, dist.ProcID(tc.n))
+		cert, err := Lemma11(Lemma11Config{
+			N: tc.n, K: tc.k,
+			Candidate: HeartbeatSetCandidate(x, 10),
+			Seed:      7,
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if !strings.Contains(cert.Lemma, "n=2k") {
+			t.Fatalf("n=%d: wrong construction used: %s", tc.n, cert)
+		}
+		if cert.Property != "intersection" {
+			t.Fatalf("n=%d: %s", tc.n, cert)
+		}
+	}
+}
+
+func TestLemma11RejectsBadParams(t *testing.T) {
+	if _, err := Lemma11(Lemma11Config{N: 4, K: 3, Candidate: HeartbeatSetCandidate(dist.RangeSet(1, 6), 5)}); err == nil {
+		t.Fatal("expected parameter error for k > n/2")
+	}
+}
+
+func TestLemma15DefeatsImpatient(t *testing.T) {
+	cert, err := Lemma15(Lemma15Config{
+		N:         4,
+		Candidate: func(p dist.ProcID, n int, v agreement.Value) sim.Automaton { return ImpatientCandidate(p, n, v) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Property != "agreement" || !cert.ReplayVerified {
+		t.Fatalf("got %s, want replay-verified agreement certificate", cert)
+	}
+}
+
+func TestLemma15DefeatsDeferring(t *testing.T) {
+	for _, patience := range []int{2, 5, 20} {
+		cert, err := Lemma15(Lemma15Config{N: 3, Candidate: DeferringCandidate(patience)})
+		if err != nil {
+			t.Fatalf("patience=%d: %v", patience, err)
+		}
+		if cert.Property != "agreement" || !cert.ReplayVerified {
+			t.Fatalf("patience=%d: %s", patience, cert)
+		}
+	}
+}
+
+func TestLemma15DefeatsEagerMin(t *testing.T) {
+	for _, wait := range []int{1, 7, 30} {
+		cert, err := Lemma15(Lemma15Config{N: 5, Candidate: EagerMinCandidate(wait)})
+		if err != nil {
+			t.Fatalf("wait=%d: %v", wait, err)
+		}
+		if cert.Property != "agreement" || !cert.ReplayVerified {
+			t.Fatalf("wait=%d: %s", wait, cert)
+		}
+	}
+}
+
+func TestLemma15SystemSizes(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		cert, err := Lemma15(Lemma15Config{N: n, Candidate: EagerMinCandidate(5)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if cert.Property != "agreement" {
+			t.Fatalf("n=%d: %s", n, cert)
+		}
+	}
+}
+
+func TestTightness(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{4, 1}, {5, 2}, {6, 2}, {6, 3}, {8, 3}, {10, 5}} {
+		cert, err := Tightness(TightnessConfig{N: tc.n, K: tc.k, Seed: int64(tc.n + tc.k)})
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if cert.Property != "agreement" {
+			t.Fatalf("n=%d k=%d: %s", tc.n, tc.k, cert)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"repro/internal/dist"
+)
+
+// History is a failure-detector history: the oracle function H that maps a
+// process and a time to the failure-detector value the process observes if
+// it queries at that time (Section 2.1 of the paper). Oracle histories are
+// produced by package fd and package core; emulated histories are recovered
+// from run traces.
+type History interface {
+	Output(p dist.ProcID, t dist.Time) any
+}
+
+// HistoryFunc adapts a function to the History interface.
+type HistoryFunc func(p dist.ProcID, t dist.Time) any
+
+// Output implements History.
+func (f HistoryFunc) Output(p dist.ProcID, t dist.Time) any { return f(p, t) }
+
+// Automaton is the deterministic per-process state machine of the model. The
+// runner invokes Step once per scheduled step of the process; within a step
+// the automaton may observe one delivered message, query the failure
+// detector once, update its state, send messages and decide.
+//
+// Automata must be deterministic functions of their observation sequence:
+// given the same deliveries and failure-detector values they must perform
+// the same transitions. The indistinguishability constructions of the
+// impossibility proofs rely on this.
+type Automaton interface {
+	Step(e *Env)
+}
+
+// Emulator is an automaton that emulates a failure detector: it exposes an
+// output variable whose value over time forms the emulated history
+// (Figures 3, 5 and 6 of the paper). Output must be a pure read.
+type Emulator interface {
+	Automaton
+	Output() any
+}
+
+// Program instantiates the automaton run by process p in a system of n
+// processes. It is called once per process before the run starts.
+type Program func(p dist.ProcID, n int) Automaton
+
+// Env is the step context handed to Automaton.Step. It is valid only for the
+// duration of the call.
+type Env struct {
+	self dist.ProcID
+	n    int
+	now  dist.Time // not exposed: the model's clock is inaccessible to processes
+
+	delivered *Message
+	layer     Layer
+	queryFD   func() any
+	fdCache   any
+	fdQueried bool
+
+	sends    []sendReq
+	decision *any
+	ops      []opEvent
+}
+
+type sendReq struct {
+	to      dist.ProcID
+	layer   Layer
+	payload any
+}
+
+type opEvent struct {
+	ret     bool
+	seq     int64
+	payload any
+}
+
+// Self returns the identity of the stepping process.
+func (e *Env) Self() dist.ProcID { return e.self }
+
+// N returns the system size n.
+func (e *Env) N() int { return e.n }
+
+// All returns Π, the set of all processes.
+func (e *Env) All() dist.ProcSet { return dist.FullSet(e.n) }
+
+// Delivered returns the payload and sender of the message received in this
+// step. ok is false for a null step (no delivery).
+func (e *Env) Delivered() (payload any, from dist.ProcID, ok bool) {
+	if e.delivered == nil {
+		return nil, dist.None, false
+	}
+	return e.delivered.Payload, e.delivered.From, true
+}
+
+// QueryFD queries the failure detector and returns H(p, t) for the step's
+// time t. Repeated calls within one step return the same value (the model
+// grants one query per step).
+func (e *Env) QueryFD() any {
+	if !e.fdQueried {
+		e.fdCache = e.queryFD()
+		e.fdQueried = true
+	}
+	return e.fdCache
+}
+
+// Send sends payload to process `to` over the reliable channel.
+func (e *Env) Send(to dist.ProcID, payload any) {
+	if to < 1 || int(to) > e.n {
+		return
+	}
+	e.sends = append(e.sends, sendReq{to: to, layer: e.layer, payload: payload})
+}
+
+// Broadcast sends payload to every process except the sender ("send to every
+// process except p" in the paper's pseudo-code).
+func (e *Env) Broadcast(payload any) {
+	for q := dist.ProcID(1); int(q) <= e.n; q++ {
+		if q != e.self {
+			e.sends = append(e.sends, sendReq{to: q, layer: e.layer, payload: payload})
+		}
+	}
+}
+
+// BroadcastAll sends payload to every process including the sender ("send to
+// all").
+func (e *Env) BroadcastAll(payload any) {
+	for q := dist.ProcID(1); int(q) <= e.n; q++ {
+		e.sends = append(e.sends, sendReq{to: q, layer: e.layer, payload: payload})
+	}
+}
+
+// Decide records the irrevocable decision of a task value. Deciding twice is
+// a protocol error surfaced in the run result.
+func (e *Env) Decide(v any) {
+	e.decision = &v
+}
+
+// Invoke records the invocation of a shared-object operation (for
+// linearizability checking). seq correlates the invocation with its Return.
+func (e *Env) Invoke(seq int64, desc any) {
+	e.ops = append(e.ops, opEvent{ret: false, seq: seq, payload: desc})
+}
+
+// Return records the response of a previously invoked operation.
+func (e *Env) Return(seq int64, desc any) {
+	e.ops = append(e.ops, opEvent{ret: true, seq: seq, payload: desc})
+}
+
+// Stack composes protocol layers into one automaton per the failure-detector
+// reduction methodology of the paper: layers[0] is the bottom layer and
+// queries the oracle; each layer i > 0 queries the emulated output of layer
+// i−1, so every layer except the top must implement Emulator.
+//
+// Each runner step advances every layer once (bottom-up), which corresponds
+// to a block of consecutive model steps of the same process — a legal
+// schedule, so every property proved over all schedules still applies.
+// Messages are routed to the layer that sent them.
+type Stack struct {
+	layers []Automaton
+}
+
+var _ Emulator = (*Stack)(nil)
+
+// NewStack builds a stack from bottom to top. It panics if an inner layer is
+// not an Emulator (that is a programming error in test/bench setup code, not
+// a runtime condition).
+func NewStack(layers ...Automaton) *Stack {
+	if len(layers) == 0 {
+		panic("sim: empty stack")
+	}
+	for i := 0; i < len(layers)-1; i++ {
+		if _, ok := layers[i].(Emulator); !ok {
+			panic("sim: inner stack layer must implement Emulator")
+		}
+	}
+	return &Stack{layers: layers}
+}
+
+// Step advances every layer once. The delivered message (if any) is visible
+// only to the layer it was addressed to.
+func (s *Stack) Step(e *Env) {
+	for i, layer := range s.layers {
+		sub := Env{
+			self:  e.self,
+			n:     e.n,
+			now:   e.now,
+			layer: Layer(i),
+		}
+		if e.delivered != nil && e.delivered.Layer == Layer(i) {
+			sub.delivered = e.delivered
+		}
+		if i == 0 {
+			sub.queryFD = e.queryFD
+		} else {
+			emu := s.layers[i-1].(Emulator)
+			sub.queryFD = emu.Output
+		}
+		layer.Step(&sub)
+		e.sends = append(e.sends, sub.sends...)
+		if sub.decision != nil && e.decision == nil {
+			e.decision = sub.decision
+		}
+		e.ops = append(e.ops, sub.ops...)
+	}
+}
+
+// Layer returns the i-th layer (0 = bottom) for post-run state inspection.
+func (s *Stack) Layer(i int) Automaton { return s.layers[i] }
+
+// Output exposes the top layer's emulated output when the top layer is an
+// Emulator (used when a whole stack emulates a failure detector).
+func (s *Stack) Output() any {
+	top := s.layers[len(s.layers)-1]
+	if emu, ok := top.(Emulator); ok {
+		return emu.Output()
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dist"
+)
+
+// Snapshotter is an automaton that can deep-copy its state, enabling
+// exhaustive exploration (the explorer branches the world at every step).
+type Snapshotter interface {
+	Automaton
+	Snapshot() Automaton
+}
+
+// ExploreConfig bounds an exhaustive run of Explore.
+type ExploreConfig struct {
+	// Pattern, History, Program as in Config. Every automaton returned by
+	// Program must implement Snapshotter.
+	Pattern *dist.FailurePattern
+	History History
+	Program Program
+	// MaxDepth bounds schedule length (exploration cuts off deeper paths).
+	MaxDepth int
+	// MaxStates bounds the memo table; exceeding it sets Truncated.
+	// Default 1 << 20.
+	MaxStates int
+	// TimeCap declares that History is constant in t for t ≥ TimeCap at
+	// every process and that no crash occurs at or after TimeCap. States
+	// that differ only in time beyond the cap are then behaviorally
+	// identical and are merged, which is what makes busy-wait loops
+	// converge. Default 0 (history constant from the start).
+	TimeCap dist.Time
+	// Check is the safety predicate evaluated on the decision map after
+	// every step; a non-empty string is a violation witness.
+	Check func(decisions map[dist.ProcID]any) string
+	// CheckAutomata, when non-nil, is an additional safety predicate over
+	// the automata themselves, evaluated in every reachable state (index
+	// ProcID-1). It enables exhaustive checking of cross-process invariants
+	// such as the Intersection property of emulated failure detectors. It
+	// must treat the automata as read-only.
+	CheckAutomata func(automata []Automaton) string
+}
+
+// ExploreResult reports an exhaustive exploration.
+type ExploreResult struct {
+	// StatesVisited counts distinct explored states; StepsExecuted counts
+	// automaton steps across all branches.
+	StatesVisited int64
+	StepsExecuted int64
+	// Truncated is set when MaxDepth or MaxStates cut the exploration.
+	Truncated bool
+	// Violation is the first safety violation found ("" if none), and
+	// ViolationDepth the schedule length that reached it.
+	Violation      string
+	ViolationDepth int
+}
+
+// ErrNotSnapshotter is returned when a program automaton cannot be cloned.
+var ErrNotSnapshotter = errors.New("sim: explore requires Snapshotter automata")
+
+// Explore enumerates every schedule of the configured system up to the
+// depth bound: at each state it branches over every alive process and every
+// distinct deliverable message (plus the null delivery) for that process.
+// It checks the safety predicate in every reachable state, so a nil result
+// Violation means no reachable interleaving (within bounds) violates the
+// property — a bounded model-checking guarantee strictly stronger than the
+// seeded sampling of Run.
+func Explore(cfg ExploreConfig) (*ExploreResult, error) {
+	if cfg.Pattern == nil || cfg.History == nil || cfg.Program == nil || cfg.Check == nil {
+		return nil, errors.New("sim: ExploreConfig requires Pattern, History, Program and Check")
+	}
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = 1 << 20
+	}
+	n := cfg.Pattern.N()
+	for p := dist.ProcID(1); int(p) <= n; p++ {
+		if c := cfg.Pattern.CrashTime(p); c != dist.NoCrash && c >= cfg.TimeCap && cfg.TimeCap > 0 {
+			return nil, fmt.Errorf("sim: crash of p%d at %d not before TimeCap %d", int(p), int64(c), int64(cfg.TimeCap))
+		}
+	}
+
+	root := &xstate{
+		t:         0,
+		automata:  make([]Automaton, n),
+		queues:    make([][]xmsg, n+1),
+		decisions: make(map[dist.ProcID]any),
+	}
+	for p := dist.ProcID(1); int(p) <= n; p++ {
+		a := cfg.Program(p, n)
+		if _, ok := a.(Snapshotter); !ok {
+			return nil, fmt.Errorf("%w: %T", ErrNotSnapshotter, a)
+		}
+		root.automata[p-1] = a
+	}
+
+	e := &explorer{cfg: cfg, n: n, seen: make(map[string]struct{})}
+	e.dfs(root, 0)
+	return &e.res, nil
+}
+
+type xmsg struct {
+	from    dist.ProcID
+	layer   Layer
+	payload any
+}
+
+type xstate struct {
+	t         dist.Time
+	automata  []Automaton
+	queues    [][]xmsg
+	decisions map[dist.ProcID]any
+}
+
+func (s *xstate) clone() *xstate {
+	c := &xstate{
+		t:         s.t,
+		automata:  make([]Automaton, len(s.automata)),
+		queues:    make([][]xmsg, len(s.queues)),
+		decisions: make(map[dist.ProcID]any, len(s.decisions)),
+	}
+	for i, a := range s.automata {
+		c.automata[i] = a.(Snapshotter).Snapshot()
+	}
+	for i, q := range s.queues {
+		if len(q) > 0 {
+			c.queues[i] = append([]xmsg(nil), q...)
+		}
+	}
+	for k, v := range s.decisions {
+		c.decisions[k] = v
+	}
+	return c
+}
+
+// key canonicalizes the state for memoization. Queue contents are rendered
+// as sorted multisets (delivery order is irrelevant because the explorer
+// branches over every message).
+func (s *xstate) key(cap dist.Time) string {
+	var b strings.Builder
+	t := s.t
+	if cap > 0 && t > cap {
+		t = cap
+	}
+	fmt.Fprintf(&b, "t%d;", int64(t))
+	for i, a := range s.automata {
+		fmt.Fprintf(&b, "a%d=%#v;", i, a)
+	}
+	for i, q := range s.queues {
+		if len(q) == 0 {
+			continue
+		}
+		reprs := make([]string, len(q))
+		for j, m := range q {
+			reprs[j] = fmt.Sprintf("%d/%d/%#v", int(m.from), int8(m.layer), m.payload)
+		}
+		sort.Strings(reprs)
+		fmt.Fprintf(&b, "q%d=%s;", i, strings.Join(reprs, ","))
+	}
+	// Decisions in process order for determinism.
+	for p := dist.ProcID(1); int(p) < len(s.queues); p++ {
+		if v, ok := s.decisions[p]; ok {
+			fmt.Fprintf(&b, "d%d=%v;", int(p), v)
+		}
+	}
+	return b.String()
+}
+
+type explorer struct {
+	cfg  ExploreConfig
+	n    int
+	res  ExploreResult
+	seen map[string]struct{}
+}
+
+func (e *explorer) dfs(s *xstate, depth int) {
+	if e.res.Violation != "" {
+		return
+	}
+	if v := e.cfg.Check(s.decisions); v != "" {
+		e.res.Violation, e.res.ViolationDepth = v, depth
+		return
+	}
+	if e.cfg.CheckAutomata != nil {
+		if v := e.cfg.CheckAutomata(s.automata); v != "" {
+			e.res.Violation, e.res.ViolationDepth = v, depth
+			return
+		}
+	}
+	if depth >= e.cfg.MaxDepth {
+		e.res.Truncated = true
+		return
+	}
+	key := s.key(e.cfg.TimeCap)
+	if _, dup := e.seen[key]; dup {
+		return
+	}
+	if len(e.seen) >= e.cfg.MaxStates {
+		e.res.Truncated = true
+		return
+	}
+	e.seen[key] = struct{}{}
+	e.res.StatesVisited++
+
+	alive := e.cfg.Pattern.AliveAt(s.t)
+	for _, p := range alive.Members() {
+		// Null-delivery branch.
+		e.branch(s, depth, p, -1)
+		// One branch per distinct pending message.
+		dup := make(map[string]bool, len(s.queues[p]))
+		for i, m := range s.queues[p] {
+			r := fmt.Sprintf("%d/%d/%#v", int(m.from), int8(m.layer), m.payload)
+			if dup[r] {
+				continue
+			}
+			dup[r] = true
+			e.branch(s, depth, p, i)
+		}
+		if e.res.Violation != "" {
+			return
+		}
+	}
+}
+
+// branch clones the state, applies one step of p (delivering queue index
+// msgIdx, or nothing when -1) and recurses.
+func (e *explorer) branch(s *xstate, depth int, p dist.ProcID, msgIdx int) {
+	if e.res.Violation != "" {
+		return
+	}
+	c := s.clone()
+	var delivered *Message
+	if msgIdx >= 0 {
+		m := c.queues[p][msgIdx]
+		c.queues[p] = append(c.queues[p][:msgIdx:msgIdx], c.queues[p][msgIdx+1:]...)
+		delivered = &Message{From: m.from, To: p, Layer: m.layer, Payload: m.payload, Sent: c.t}
+	}
+	env := Env{
+		self:      p,
+		n:         e.n,
+		now:       c.t,
+		delivered: delivered,
+		queryFD: func() any {
+			return e.cfg.History.Output(p, c.t)
+		},
+	}
+	c.automata[p-1].Step(&env)
+	e.res.StepsExecuted++
+	for _, sr := range env.sends {
+		c.queues[sr.to] = append(c.queues[sr.to], xmsg{from: p, layer: sr.layer, payload: sr.payload})
+	}
+	if env.decision != nil {
+		if _, dup := c.decisions[p]; !dup {
+			c.decisions[p] = *env.decision
+		}
+	}
+	c.t++
+	e.dfs(c, depth+1)
+}

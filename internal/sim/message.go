@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// Layer identifies which protocol layer of a stacked automaton a message
+// belongs to. Layer 0 is the bottom of the stack (the layer that queries the
+// oracle failure detector); higher layers query the emulated output of the
+// layer below. Unstacked automata send and receive on layer 0.
+type Layer int8
+
+// Message is an immutable envelope in transit on the reliable channels.
+// Payloads are treated as immutable values: automata must not retain and
+// mutate a payload after sending it.
+type Message struct {
+	Seq     int64 // globally unique, increasing in send order
+	From    dist.ProcID
+	To      dist.ProcID
+	Sent    dist.Time
+	Layer   Layer
+	Payload any
+}
+
+// String renders the message for logs and test failures.
+func (m *Message) String() string {
+	return fmt.Sprintf("msg#%d p%d->p%d @%d L%d %v", m.Seq, int(m.From), int(m.To), int64(m.Sent), int8(m.Layer), m.Payload)
+}

@@ -1,0 +1,411 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+// StopReason reports why a run ended.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	// ReasonMaxSteps: the step budget was exhausted.
+	ReasonMaxSteps StopReason = iota + 1
+	// ReasonAllDecided: every correct process decided.
+	ReasonAllDecided
+	// ReasonSchedulerDone: the scheduler ended the run (script exhausted).
+	ReasonSchedulerDone
+	// ReasonStopCond: the configured StopWhen condition held.
+	ReasonStopCond
+	// ReasonAllCrashed: no process is alive anymore.
+	ReasonAllCrashed
+)
+
+// String names the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case ReasonMaxSteps:
+		return "max-steps"
+	case ReasonAllDecided:
+		return "all-decided"
+	case ReasonSchedulerDone:
+		return "scheduler-done"
+	case ReasonStopCond:
+		return "stop-condition"
+	case ReasonAllCrashed:
+		return "all-crashed"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// Config describes a run of the asynchronous system.
+type Config struct {
+	// Pattern is the failure pattern F of the run (also fixes n).
+	Pattern *dist.FailurePattern
+	// History is the failure-detector history H ∈ D(F) queried by the
+	// bottom layer of every process.
+	History History
+	// Program instantiates each process's automaton.
+	Program Program
+	// Scheduler drives the interleaving. Defaults to NewRandomScheduler(1).
+	Scheduler Scheduler
+	// MaxSteps bounds the total number of steps (the finite horizon standing
+	// in for the model's infinite runs). Defaults to 10_000·n.
+	MaxSteps int64
+	// DeliveryFilter, when non-nil, marks messages as temporarily
+	// undeliverable (the proofs' "messages are delayed until ..."). A
+	// message is deliverable at time t iff the filter returns true.
+	DeliveryFilter func(m *Message, now dist.Time) bool
+	// StopWhenDecided ends the run as soon as every correct process decided.
+	StopWhenDecided bool
+	// StopWhen, when non-nil, ends the run after any step where it holds.
+	StopWhen func(s *Snapshot) bool
+	// DisableTrace skips event recording (benchmarks on the hot path).
+	DisableTrace bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Steps      int64
+	Reason     StopReason
+	Decisions  map[dist.ProcID]any
+	DecideTime map[dist.ProcID]dist.Time
+	Trace      *trace.Trace
+	// Automata holds each process's final automaton (index p-1), so tests
+	// can inspect emulator outputs and internal state post-run.
+	Automata []Automaton
+	// MessagesSent counts all messages enqueued during the run.
+	MessagesSent int64
+}
+
+// Decision returns p's decision, if any.
+func (r *Result) Decision(p dist.ProcID) (any, bool) {
+	v, ok := r.Decisions[p]
+	return v, ok
+}
+
+// DistinctDecisions returns the number of distinct decided values.
+func (r *Result) DistinctDecisions() int {
+	seen := make([]any, 0, len(r.Decisions))
+	for _, v := range r.Decisions {
+		dup := false
+		for _, w := range seen {
+			if reflect.DeepEqual(v, w) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen = append(seen, v)
+		}
+	}
+	return len(seen)
+}
+
+// Snapshot exposes live run state to StopWhen conditions.
+type Snapshot struct{ r *runner }
+
+// Now returns the current time.
+func (s *Snapshot) Now() dist.Time { return s.r.now }
+
+// Decided returns p's decision, if it has decided.
+func (s *Snapshot) Decided(p dist.ProcID) (any, bool) {
+	v, ok := s.r.decisions[p]
+	return v, ok
+}
+
+// AllCorrectDecided reports whether every correct process has decided.
+func (s *Snapshot) AllCorrectDecided() bool { return s.r.allCorrectDecided() }
+
+// EmuOutput returns the current emulated failure-detector output of p when
+// p's automaton is an Emulator, else nil.
+func (s *Snapshot) EmuOutput(p dist.ProcID) any {
+	if emu, ok := s.r.automata[p-1].(Emulator); ok {
+		return emu.Output()
+	}
+	return nil
+}
+
+// Automaton returns p's automaton for state inspection by stop conditions.
+// Conditions must treat it as read-only.
+func (s *Snapshot) Automaton(p dist.ProcID) Automaton { return s.r.automata[p-1] }
+
+type runner struct {
+	cfg      Config
+	n        int
+	now      dist.Time
+	automata []Automaton
+	queues   [][]*Message
+	seq      int64
+	sent     int64
+
+	decisions  map[dist.ProcID]any
+	decideTime map[dist.ProcID]dist.Time
+
+	tr      *trace.Trace
+	lastEmu []any
+	hasEmu  []bool
+
+	crashEvents []crashEvent
+	crashPos    int
+
+	err error
+}
+
+type crashEvent struct {
+	t dist.Time
+	p dist.ProcID
+}
+
+var (
+	// ErrScheduledCrashed is reported when a scripted schedule steps a
+	// process that has already crashed at that time.
+	ErrScheduledCrashed = errors.New("sim: scheduler picked a crashed process")
+	// ErrDoubleDecision is reported when a process decides twice.
+	ErrDoubleDecision = errors.New("sim: process decided twice")
+)
+
+// Run executes a configured run to completion and returns its result. The
+// only errors are protocol/setup errors (double decision, scripted schedule
+// inconsistencies); property violations are for checkers to find in the
+// result, not errors.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Pattern == nil {
+		return nil, errors.New("sim: Config.Pattern is required")
+	}
+	if cfg.History == nil {
+		return nil, errors.New("sim: Config.History is required")
+	}
+	if cfg.Program == nil {
+		return nil, errors.New("sim: Config.Program is required")
+	}
+	n := cfg.Pattern.N()
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = NewRandomScheduler(1)
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = int64(10_000 * n)
+	}
+
+	r := &runner{
+		cfg:        cfg,
+		n:          n,
+		automata:   make([]Automaton, n),
+		queues:     make([][]*Message, n+1),
+		decisions:  make(map[dist.ProcID]any, n),
+		decideTime: make(map[dist.ProcID]dist.Time, n),
+		lastEmu:    make([]any, n),
+		hasEmu:     make([]bool, n),
+	}
+	if !cfg.DisableTrace {
+		r.tr = &trace.Trace{}
+	}
+	for p := dist.ProcID(1); int(p) <= n; p++ {
+		r.automata[p-1] = cfg.Program(p, n)
+		if c := cfg.Pattern.CrashTime(p); c != dist.NoCrash {
+			r.crashEvents = append(r.crashEvents, crashEvent{t: c, p: p})
+		}
+	}
+	sort.Slice(r.crashEvents, func(i, j int) bool { return r.crashEvents[i].t < r.crashEvents[j].t })
+
+	// Record initial emulator outputs at time -1 so OutputAt is defined from
+	// the very first step.
+	for p := dist.ProcID(1); int(p) <= n; p++ {
+		if emu, ok := r.automata[p-1].(Emulator); ok {
+			out := emu.Output()
+			r.lastEmu[p-1], r.hasEmu[p-1] = out, true
+			r.record(trace.Event{T: -1, P: p, Kind: trace.EmuKind, Payload: out})
+		}
+	}
+
+	reason := r.loop()
+	res := &Result{
+		Steps:        int64(r.now),
+		Reason:       reason,
+		Decisions:    r.decisions,
+		DecideTime:   r.decideTime,
+		Trace:        r.tr,
+		Automata:     r.automata,
+		MessagesSent: r.sent,
+	}
+	return res, r.err
+}
+
+func (r *runner) loop() StopReason {
+	snap := &Snapshot{r: r}
+	for ; int64(r.now) < r.cfg.MaxSteps; r.now++ {
+		t := r.now
+		r.emitCrashes(t)
+		alive := r.cfg.Pattern.AliveAt(t)
+		if alive.IsEmpty() {
+			return ReasonAllCrashed
+		}
+		if r.cfg.StopWhenDecided && r.allCorrectDecided() {
+			return ReasonAllDecided
+		}
+		view := View{
+			Now:     t,
+			N:       r.n,
+			Alive:   alive,
+			Correct: r.cfg.Pattern.Correct(),
+			Pending: func(p dist.ProcID) int { return r.pendingCount(p, t) },
+			Decided: func(p dist.ProcID) bool { _, ok := r.decisions[p]; return ok },
+		}
+		choice, ok := r.cfg.Scheduler.Next(&view)
+		if !ok {
+			return ReasonSchedulerDone
+		}
+		if choice.Proc != dist.None {
+			p := choice.Proc
+			if !alive.Contains(p) {
+				r.err = fmt.Errorf("%w: p%d at t=%d", ErrScheduledCrashed, int(p), int64(t))
+				return ReasonSchedulerDone
+			}
+			msg := r.pickMessage(p, t, choice)
+			r.step(p, t, msg)
+			if r.err != nil {
+				return ReasonSchedulerDone
+			}
+		}
+		if r.cfg.StopWhen != nil && r.cfg.StopWhen(snap) {
+			r.now++
+			return ReasonStopCond
+		}
+		if r.cfg.StopWhenDecided && r.allCorrectDecided() {
+			r.now++
+			return ReasonAllDecided
+		}
+	}
+	return ReasonMaxSteps
+}
+
+func (r *runner) step(p dist.ProcID, t dist.Time, msg *Message) {
+	env := Env{
+		self:      p,
+		n:         r.n,
+		now:       t,
+		delivered: msg,
+		layer:     0,
+		queryFD:   func() any { return r.cfg.History.Output(p, t) },
+	}
+	r.automata[p-1].Step(&env)
+
+	if r.tr != nil {
+		ev := trace.Event{T: t, P: p, Kind: trace.StepKind}
+		if msg != nil {
+			ev.Delivered = true
+			ev.From = msg.From
+			ev.Layer = int8(msg.Layer)
+			ev.Payload = msg.Payload
+			ev.Seq = msg.Seq
+		}
+		if env.fdQueried {
+			ev.FD = env.fdCache
+		}
+		r.tr.Append(ev)
+	}
+
+	for _, sr := range env.sends {
+		r.seq++
+		r.sent++
+		m := &Message{Seq: r.seq, From: p, To: sr.to, Sent: t, Layer: sr.layer, Payload: sr.payload}
+		r.queues[sr.to] = append(r.queues[sr.to], m)
+		if r.tr != nil {
+			r.record(trace.Event{T: t, P: p, Kind: trace.SendKind, To: sr.to, Layer: int8(sr.layer), Seq: m.Seq, Payload: sr.payload})
+		}
+	}
+
+	if env.decision != nil {
+		if _, dup := r.decisions[p]; dup {
+			r.err = fmt.Errorf("%w: p%d at t=%d", ErrDoubleDecision, int(p), int64(t))
+			return
+		}
+		r.decisions[p] = *env.decision
+		r.decideTime[p] = t
+		r.record(trace.Event{T: t, P: p, Kind: trace.DecideKind, Payload: *env.decision})
+	}
+
+	for _, op := range env.ops {
+		kind := trace.InvokeKind
+		if op.ret {
+			kind = trace.ReturnKind
+		}
+		r.record(trace.Event{T: t, P: p, Kind: kind, Seq: op.seq, Payload: op.payload})
+	}
+
+	if emu, ok := r.automata[p-1].(Emulator); ok {
+		out := emu.Output()
+		if !r.hasEmu[p-1] || !reflect.DeepEqual(out, r.lastEmu[p-1]) {
+			r.lastEmu[p-1], r.hasEmu[p-1] = out, true
+			r.record(trace.Event{T: t, P: p, Kind: trace.EmuKind, Payload: out})
+		}
+	}
+}
+
+func (r *runner) record(e trace.Event) {
+	if r.tr != nil {
+		r.tr.Append(e)
+	}
+}
+
+func (r *runner) emitCrashes(t dist.Time) {
+	for r.crashPos < len(r.crashEvents) && r.crashEvents[r.crashPos].t <= t {
+		ce := r.crashEvents[r.crashPos]
+		r.record(trace.Event{T: ce.t, P: ce.p, Kind: trace.CrashKind})
+		r.crashPos++
+	}
+}
+
+func (r *runner) deliverable(m *Message, t dist.Time) bool {
+	if r.cfg.DeliveryFilter == nil {
+		return true
+	}
+	return r.cfg.DeliveryFilter(m, t)
+}
+
+func (r *runner) pendingCount(p dist.ProcID, t dist.Time) int {
+	cnt := 0
+	for _, m := range r.queues[p] {
+		if r.deliverable(m, t) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// pickMessage selects and removes the message delivered to p at time t per
+// the scheduler's choice, or returns nil for a null step.
+func (r *runner) pickMessage(p dist.ProcID, t dist.Time, c Choice) *Message {
+	if c.Mode == DeliverNone {
+		return nil
+	}
+	q := r.queues[p]
+	for i, m := range q {
+		if !r.deliverable(m, t) {
+			continue
+		}
+		if c.Mode == DeliverMatch && (c.Match == nil || !c.Match(m)) {
+			continue
+		}
+		r.queues[p] = append(q[:i:i], q[i+1:]...)
+		return m
+	}
+	return nil
+}
+
+func (r *runner) allCorrectDecided() bool {
+	correct := r.cfg.Pattern.Correct()
+	for _, p := range correct.Members() {
+		if _, ok := r.decisions[p]; !ok {
+			return false
+		}
+	}
+	return true
+}

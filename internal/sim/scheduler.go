@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+// DeliverMode selects which pending message (if any) a scheduled step
+// receives.
+type DeliverMode uint8
+
+// Delivery modes.
+const (
+	// DeliverAuto receives the oldest deliverable pending message, or takes
+	// a null step when none is pending.
+	DeliverAuto DeliverMode = iota + 1
+	// DeliverNone forces a null step even when messages are pending. The
+	// runner's fairness watchdog is bypassed; scripted schedules use this to
+	// realize the finite unfair prefixes the impossibility proofs need.
+	DeliverNone
+	// DeliverMatch receives the oldest deliverable pending message matching
+	// the choice's Match predicate, or takes a null step when none matches.
+	DeliverMatch
+)
+
+// Choice is one scheduling decision: which process steps and what it
+// receives.
+type Choice struct {
+	Proc  dist.ProcID
+	Mode  DeliverMode
+	Match func(m *Message) bool // used by DeliverMatch
+}
+
+// View is the read-only state a scheduler may inspect. Schedulers model the
+// adversary, so they see everything (unlike processes).
+type View struct {
+	Now     dist.Time
+	N       int
+	Alive   dist.ProcSet // processes that have not crashed at Now
+	Correct dist.ProcSet
+	// Pending returns the number of deliverable messages queued for p.
+	Pending func(p dist.ProcID) int
+	// Decided reports whether p has decided.
+	Decided func(p dist.ProcID) bool
+}
+
+// Scheduler picks the next step of a run. Returning ok=false ends the run.
+type Scheduler interface {
+	Next(v *View) (Choice, bool)
+}
+
+// RandomScheduler is a seeded, fair scheduler: every alive process keeps
+// taking steps (bounded bypass) and every pending message is eventually
+// delivered (the runner force-delivers messages older than MaxDelay whenever
+// the receiver steps with DeliverAuto). It models the asynchronous
+// adversary used to exercise algorithms across many interleavings.
+type RandomScheduler struct {
+	rng *rand.Rand
+	// NullProb is the probability that a step with pending messages is
+	// nevertheless a null step (exercises "wait" loops). Default 0.25.
+	NullProb float64
+	// MaxSkip bounds how many consecutive scheduler picks may bypass an
+	// alive process. Default 4n.
+	MaxSkip int
+
+	lastStep map[dist.ProcID]int64
+	tick     int64
+}
+
+var _ Scheduler = (*RandomScheduler)(nil)
+
+// NewRandomScheduler returns a fair random scheduler with the given seed.
+func NewRandomScheduler(seed int64) *RandomScheduler {
+	return &RandomScheduler{
+		rng:      rand.New(rand.NewSource(seed)),
+		NullProb: 0.25,
+		lastStep: make(map[dist.ProcID]int64),
+	}
+}
+
+// Next implements Scheduler.
+func (s *RandomScheduler) Next(v *View) (Choice, bool) {
+	alive := v.Alive.Members()
+	if len(alive) == 0 {
+		return Choice{}, false
+	}
+	s.tick++
+	maxSkip := s.MaxSkip
+	if maxSkip <= 0 {
+		maxSkip = 4 * v.N
+	}
+	// Bounded bypass: pick the most starved process when it has waited too
+	// long, otherwise pick uniformly.
+	var pick dist.ProcID
+	var worst int64 = -1
+	for _, p := range alive {
+		age := s.tick - s.lastStep[p]
+		if age > int64(maxSkip) && age > worst {
+			worst, pick = age, p
+		}
+	}
+	if pick == dist.None {
+		pick = alive[s.rng.Intn(len(alive))]
+	}
+	s.lastStep[pick] = s.tick
+
+	mode := DeliverAuto
+	if v.Pending(pick) > 0 && s.rng.Float64() < s.NullProb {
+		// Occasional null steps despite pending messages; the runner's
+		// MaxDelay watchdog still guarantees eventual delivery.
+		mode = DeliverNone
+	}
+	return Choice{Proc: pick, Mode: mode}, true
+}
+
+// RoundRobinScheduler cycles through alive processes in identifier order and
+// always delivers the oldest pending message. It yields the canonical
+// "synchronous-looking" schedule useful for quick smoke tests.
+type RoundRobinScheduler struct {
+	next dist.ProcID
+}
+
+var _ Scheduler = (*RoundRobinScheduler)(nil)
+
+// Next implements Scheduler.
+func (s *RoundRobinScheduler) Next(v *View) (Choice, bool) {
+	if v.Alive.IsEmpty() {
+		return Choice{}, false
+	}
+	for i := 0; i < v.N; i++ {
+		s.next++
+		if s.next > dist.ProcID(v.N) {
+			s.next = 1
+		}
+		if v.Alive.Contains(s.next) {
+			return Choice{Proc: s.next, Mode: DeliverAuto}, true
+		}
+	}
+	return Choice{}, false
+}
+
+// ScriptedScheduler replays an explicit prefix of choices, then hands over
+// to an optional continuation scheduler. It realizes the adversarial runs of
+// the impossibility proofs: a finite, precisely controlled prefix followed
+// by a fair continuation.
+type ScriptedScheduler struct {
+	Script []Choice
+	Then   Scheduler // nil ends the run when the script is exhausted
+
+	pos int
+}
+
+var _ Scheduler = (*ScriptedScheduler)(nil)
+
+// Next implements Scheduler. A Choice with Proc == dist.None is an idle
+// tick: time advances with no step, which the proof constructions use to
+// align the absolute times of stitched histories. Scripted choices naming a
+// crashed process are skipped (the run construction decides crash times
+// independently).
+func (s *ScriptedScheduler) Next(v *View) (Choice, bool) {
+	for s.pos < len(s.Script) {
+		c := s.Script[s.pos]
+		s.pos++
+		if c.Proc == dist.None || v.Alive.Contains(c.Proc) {
+			if c.Mode == 0 {
+				c.Mode = DeliverAuto
+			}
+			return c, true
+		}
+	}
+	if s.Then == nil {
+		return Choice{}, false
+	}
+	return s.Then.Next(v)
+}
+
+// Idle returns count idle ticks (time passes, nobody steps).
+func Idle(count int64) []Choice {
+	out := make([]Choice, count)
+	return out // zero Choice has Proc == dist.None
+}
+
+// ReplayScript reconstructs the exact schedule of a recorded run up to and
+// including time upTo: each recorded step is replayed as a choice for the
+// same process delivering the same message (matched by sequence number), and
+// times without a recorded step become idle ticks. Replaying a deterministic
+// automaton against this script reproduces its observation sequence exactly —
+// the mechanical form of the proofs' "takes the same steps as in r".
+func ReplayScript(tr *trace.Trace, upTo dist.Time) []Choice {
+	steps := make(map[dist.Time]trace.Event)
+	for _, e := range tr.Events() {
+		if e.Kind == trace.StepKind && e.T <= upTo {
+			steps[e.T] = e
+		}
+	}
+	out := make([]Choice, 0, upTo+1)
+	for t := dist.Time(0); t <= upTo; t++ {
+		e, ok := steps[t]
+		if !ok {
+			out = append(out, Choice{}) // idle tick
+			continue
+		}
+		c := Choice{Proc: e.P, Mode: DeliverNone}
+		if e.Delivered {
+			seq := e.Seq
+			c.Mode = DeliverMatch
+			c.Match = func(m *Message) bool { return m.Seq == seq }
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Steps builds a script that lets each listed process take `count`
+// consecutive steps with the given mode, in order.
+func Steps(mode DeliverMode, count int, procs ...dist.ProcID) []Choice {
+	out := make([]Choice, 0, count*len(procs))
+	for _, p := range procs {
+		for i := 0; i < count; i++ {
+			out = append(out, Choice{Proc: p, Mode: mode})
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestRender(t *testing.T) {
+	var tr Trace
+	tr.Append(Event{T: 0, P: 1, Kind: StepKind, FD: "∅"})
+	tr.Append(Event{T: 0, P: 1, Kind: SendKind, To: 2, Payload: "hello"})
+	tr.Append(Event{T: 1, P: 2, Kind: StepKind, Delivered: true, From: 1, Payload: "hello"})
+	tr.Append(Event{T: 2, P: 2, Kind: DecideKind, Payload: 42})
+	tr.Append(Event{T: 3, P: 3, Kind: CrashKind})
+	tr.Append(Event{T: 4, P: 1, Kind: EmuKind, Payload: "{p1}"})
+	tr.Append(Event{T: 5, P: 1, Kind: InvokeKind, Payload: "read"})
+	tr.Append(Event{T: 6, P: 1, Kind: ReturnKind, Payload: "read=0"})
+
+	out := Render(&tr, RenderOptions{N: 3})
+	for _, want := range []string{
+		"step  fd=∅",
+		"send  hello to p2",
+		"recv hello from p1",
+		"DECIDE 42",
+		"CRASH",
+		"emu-output ← {p1}",
+		"invoke read",
+		"return read=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderWindowAndRowCap(t *testing.T) {
+	var tr Trace
+	for i := 0; i < 50; i++ {
+		tr.Append(Event{T: dist.Time(i), P: 1, Kind: StepKind})
+	}
+	out := Render(&tr, RenderOptions{N: 1, From: 10, To: 19})
+	if lines := strings.Count(out, "\n"); lines != 10 {
+		t.Fatalf("window rendered %d lines, want 10:\n%s", lines, out)
+	}
+	out = Render(&tr, RenderOptions{N: 1, MaxRows: 5})
+	if !strings.Contains(out, "more events") {
+		t.Fatalf("row cap not applied:\n%s", out)
+	}
+}
