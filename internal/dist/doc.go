@@ -1,0 +1,20 @@
+// Package dist holds the basic vocabulary of the distributed-computing
+// model: process identifiers, the global discrete clock, process sets and
+// failure patterns (Section 2 of the paper).
+//
+// The package is the innermost dependency of the whole repository and sits
+// on every hot path of the simulator, so its representations are chosen for
+// speed first:
+//
+//   - ProcSet is a uint64 bitmask (MaxProcs = 64). Membership, union,
+//     intersection and subset tests are single machine instructions;
+//     cardinality is a popcount. ProcSet is a comparable value type, so it
+//     can key maps and be compared with ==.
+//   - FailurePattern pre-sorts its crash events and caches the alive-set
+//     prefix per distinct crash time, so the runner's per-step AliveAt and
+//     Correct calls are allocation-free lookups.
+//
+// All operations on ProcSet are pure (they return a new set); operations on
+// FailurePattern mutate it during setup (CrashAt) and are read-only during a
+// run.
+package dist

@@ -1,0 +1,174 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FailurePattern is the failure pattern F of a run: which processes crash
+// and when (Section 2.1 of the paper). A process is alive at t iff t is
+// strictly before its crash time; a process with crash time 0 never takes a
+// step ("initially dead").
+//
+// Patterns are built once (NewFailurePattern + CrashAt) and then read by
+// runs. Crash events are sorted and the cumulative crashed set per distinct
+// crash time is cached on first read, so the per-step AliveAt and Correct
+// queries are allocation-free lookups. Setup and reads must not be
+// interleaved concurrently.
+type FailurePattern struct {
+	n      int
+	crash  [MaxProcs + 1]Time // indexed by ProcID; NoCrash if correct
+	faulty ProcSet
+
+	dirty  bool
+	events []crashStep // sorted by time, cumulative crashed sets
+}
+
+type crashStep struct {
+	t       Time
+	crashed ProcSet // every process with crash time ≤ t
+}
+
+// NewFailurePattern returns the failure-free pattern over n processes
+// (1 ≤ n ≤ MaxProcs; it panics otherwise — system size is test/bench setup,
+// not runtime input).
+func NewFailurePattern(n int) *FailurePattern {
+	if n < 1 || n > MaxProcs {
+		panic(fmt.Sprintf("dist: system size %d outside 1..%d", n, MaxProcs))
+	}
+	f := &FailurePattern{n: n}
+	for p := 1; p <= n; p++ {
+		f.crash[p] = NoCrash
+	}
+	return f
+}
+
+// CrashPattern returns the pattern over n processes in which exactly the
+// given processes are crashed from the very beginning (time 0): they never
+// take a step.
+func CrashPattern(n int, crashed ...ProcID) *FailurePattern {
+	f := NewFailurePattern(n)
+	for _, p := range crashed {
+		f.CrashAt(p, 0)
+	}
+	return f
+}
+
+// N returns the system size n.
+func (f *FailurePattern) N() int { return f.n }
+
+// All returns Π, the set of all n processes.
+func (f *FailurePattern) All() ProcSet { return FullSet(f.n) }
+
+// CrashAt records that p crashes at time t (the process takes no step at or
+// after t). Negative times are clamped to 0; calling it again for the same
+// process overwrites the earlier time, and CrashAt(p, NoCrash) makes p
+// correct again.
+func (f *FailurePattern) CrashAt(p ProcID, t Time) {
+	if p < 1 || int(p) > f.n {
+		panic(fmt.Sprintf("dist: CrashAt(p%d) outside 1..%d", int(p), f.n))
+	}
+	if t < 0 {
+		t = 0
+	}
+	f.crash[p] = t
+	if t == NoCrash {
+		f.faulty = f.faulty.Remove(p)
+	} else {
+		f.faulty = f.faulty.Add(p)
+	}
+	f.dirty = true
+}
+
+// CrashTime returns p's crash time, or NoCrash if p is correct.
+func (f *FailurePattern) CrashTime(p ProcID) Time {
+	if p < 1 || int(p) > f.n {
+		return NoCrash
+	}
+	return f.crash[p]
+}
+
+// Alive reports whether p has not crashed at time t: t < CrashTime(p).
+func (f *FailurePattern) Alive(p ProcID, t Time) bool {
+	if p < 1 || int(p) > f.n {
+		return false
+	}
+	return t < f.crash[p]
+}
+
+// IsCorrect reports whether p never crashes in F.
+func (f *FailurePattern) IsCorrect(p ProcID) bool {
+	return int(p) >= 1 && int(p) <= f.n && !f.faulty.Contains(p)
+}
+
+// Correct returns correct(F), the set of processes that never crash.
+func (f *FailurePattern) Correct() ProcSet { return f.All().Minus(f.faulty) }
+
+// InEnvironment reports whether F belongs to the environment of the paper:
+// at least one process is correct (a pattern crashing everybody is outside
+// every environment considered).
+func (f *FailurePattern) InEnvironment() bool { return !f.Correct().IsEmpty() }
+
+// Faulty returns Π \ correct(F).
+func (f *FailurePattern) Faulty() ProcSet { return f.faulty }
+
+// AliveAt returns Π \ F(t), the processes that have not crashed at time t.
+// After the first call (which sorts the crash events) it is a binary search
+// over at most MaxProcs cached entries and does not allocate.
+func (f *FailurePattern) AliveAt(t Time) ProcSet {
+	if f.dirty {
+		f.finalize()
+	}
+	ev := f.events
+	// Find the last event with ev.t ≤ t.
+	lo, hi := 0, len(ev)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ev[mid].t <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return f.All()
+	}
+	return f.All().Minus(ev[lo-1].crashed)
+}
+
+// finalize sorts crash times and builds the cumulative crashed set per
+// distinct crash time.
+func (f *FailurePattern) finalize() {
+	type pc struct {
+		t Time
+		p ProcID
+	}
+	var order []pc
+	f.faulty.ForEach(func(p ProcID) {
+		order = append(order, pc{t: f.crash[p], p: p})
+	})
+	sort.Slice(order, func(i, j int) bool { return order[i].t < order[j].t })
+	f.events = f.events[:0]
+	var crashed ProcSet
+	for _, e := range order {
+		crashed = crashed.Add(e.p)
+		if k := len(f.events); k > 0 && f.events[k-1].t == e.t {
+			f.events[k-1].crashed = crashed
+		} else {
+			f.events = append(f.events, crashStep{t: e.t, crashed: crashed})
+		}
+	}
+	f.dirty = false
+}
+
+// String renders the pattern as n and its crash schedule.
+func (f *FailurePattern) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "F(n=%d", f.n)
+	f.faulty.ForEach(func(p ProcID) {
+		fmt.Fprintf(&b, " p%d@%d", int(p), int64(f.crash[p]))
+	})
+	b.WriteByte(')')
+	return b.String()
+}

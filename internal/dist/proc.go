@@ -1,0 +1,24 @@
+package dist
+
+import "math"
+
+// MaxProcs bounds the system size n. Process identifiers are 1-based, so a
+// ProcSet fits in one uint64 word.
+const MaxProcs = 64
+
+// ProcID identifies a process. Valid identifiers are 1..MaxProcs; None (the
+// zero value) means "no process" and is used by schedulers for idle ticks
+// and by Min/Max on empty sets.
+type ProcID uint8
+
+// None is the zero ProcID: no process.
+const None ProcID = 0
+
+// Time is the global discrete clock of the model. It is inaccessible to
+// processes; the runner, oracles and checkers use it. Negative times appear
+// only as sentinels ("before the run started").
+type Time int64
+
+// NoCrash is the crash time of a process that never crashes. It compares
+// greater than every real time, so Alive(p, t) is uniformly t < CrashTime(p).
+const NoCrash Time = math.MaxInt64

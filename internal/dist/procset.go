@@ -1,0 +1,162 @@
+package dist
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// ProcSet is a set of processes represented as a bitmask: bit p-1 is set iff
+// process p is a member. The zero value is the empty set. ProcSet is a
+// comparable value type (== is set equality, and it can key maps); all
+// methods are pure and allocation-free except Members and String.
+type ProcSet uint64
+
+// NewProcSet returns the set containing exactly the given processes.
+// Identifiers outside 1..MaxProcs are ignored.
+func NewProcSet(ps ...ProcID) ProcSet {
+	var s ProcSet
+	for _, p := range ps {
+		s = s.Add(p)
+	}
+	return s
+}
+
+// RangeSet returns the set {lo, lo+1, ..., hi}; it is empty when lo > hi.
+func RangeSet(lo, hi ProcID) ProcSet {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > MaxProcs {
+		hi = MaxProcs
+	}
+	if lo > hi {
+		return 0
+	}
+	n := uint(hi - lo + 1)
+	var run uint64
+	if n >= 64 {
+		run = ^uint64(0)
+	} else {
+		run = (uint64(1) << n) - 1
+	}
+	return ProcSet(run << uint(lo-1))
+}
+
+// FullSet returns Π = {1, ..., n}.
+func FullSet(n int) ProcSet {
+	if n <= 0 {
+		return 0
+	}
+	if n >= MaxProcs {
+		return ProcSet(^uint64(0))
+	}
+	return ProcSet((uint64(1) << uint(n)) - 1)
+}
+
+func bit(p ProcID) ProcSet {
+	if p < 1 || p > MaxProcs {
+		return 0
+	}
+	return ProcSet(uint64(1) << uint(p-1))
+}
+
+// Contains reports whether p ∈ s.
+func (s ProcSet) Contains(p ProcID) bool { return s&bit(p) != 0 }
+
+// Add returns s ∪ {p}.
+func (s ProcSet) Add(p ProcID) ProcSet { return s | bit(p) }
+
+// Remove returns s \ {p}.
+func (s ProcSet) Remove(p ProcID) ProcSet { return s &^ bit(p) }
+
+// Len returns |s|.
+func (s ProcSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// IsEmpty reports whether s = ∅.
+func (s ProcSet) IsEmpty() bool { return s == 0 }
+
+// Union returns s ∪ t.
+func (s ProcSet) Union(t ProcSet) ProcSet { return s | t }
+
+// Intersect returns s ∩ t.
+func (s ProcSet) Intersect(t ProcSet) ProcSet { return s & t }
+
+// Minus returns s \ t.
+func (s ProcSet) Minus(t ProcSet) ProcSet { return s &^ t }
+
+// SubsetOf reports whether s ⊆ t.
+func (s ProcSet) SubsetOf(t ProcSet) bool { return s&^t == 0 }
+
+// Intersects reports whether s ∩ t ≠ ∅.
+func (s ProcSet) Intersects(t ProcSet) bool { return s&t != 0 }
+
+// Min returns the smallest member, or None when s is empty.
+func (s ProcSet) Min() ProcID {
+	if s == 0 {
+		return None
+	}
+	return ProcID(bits.TrailingZeros64(uint64(s)) + 1)
+}
+
+// Max returns the largest member, or None when s is empty.
+func (s ProcSet) Max() ProcID {
+	if s == 0 {
+		return None
+	}
+	return ProcID(64 - bits.LeadingZeros64(uint64(s)))
+}
+
+// Members returns the members in increasing order. It allocates; hot paths
+// should use AppendMembers with a reused scratch slice or ForEach instead.
+func (s ProcSet) Members() []ProcID {
+	return s.AppendMembers(make([]ProcID, 0, s.Len()))
+}
+
+// AppendMembers appends the members in increasing order to dst and returns
+// the extended slice. With a caller-owned scratch slice (dst[:0]) it does
+// not allocate once the scratch has grown to the working-set size.
+func (s ProcSet) AppendMembers(dst []ProcID) []ProcID {
+	for w := uint64(s); w != 0; w &= w - 1 {
+		dst = append(dst, ProcID(bits.TrailingZeros64(w)+1))
+	}
+	return dst
+}
+
+// ForEach calls fn for every member in increasing order. It never allocates.
+func (s ProcSet) ForEach(fn func(ProcID)) {
+	for w := uint64(s); w != 0; w &= w - 1 {
+		fn(ProcID(bits.TrailingZeros64(w) + 1))
+	}
+}
+
+// Smallest returns the subset holding the k smallest members (all of s when
+// k ≥ |s|, the empty set when k ≤ 0).
+func (s ProcSet) Smallest(k int) ProcSet {
+	if k <= 0 {
+		return 0
+	}
+	var out ProcSet
+	for w := uint64(s); w != 0 && k > 0; w &= w - 1 {
+		out |= ProcSet(w & -w)
+		k--
+	}
+	return out
+}
+
+// String renders the set as {p1,p2,...}.
+func (s ProcSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for w := uint64(s); w != 0; w &= w - 1 {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteByte('p')
+		b.WriteString(strconv.Itoa(bits.TrailingZeros64(w) + 1))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
