@@ -1,9 +1,15 @@
 // Package repro benchmarks every experiment of the reproduction: one
-// benchmark per figure/claim of the paper (see DESIGN.md §3 for the
-// experiment index and EXPERIMENTS.md for recorded results). Besides ns/op,
+// benchmark per figure/claim of the paper (see DESIGN.md for the experiment
+// index E1–E14 and the recorded baselines in CHANGES.md). Besides ns/op,
 // each benchmark reports the simulator work it performed (steps/op,
 // msgs/op), which is the meaningful cost measure for an interleaving-level
-// simulation.
+// simulation, and allocs/op, which is the hot-path regression tripwire: the
+// runner itself is (near-)zero-allocation per step, so allocs/op tracks the
+// per-run setup plus the automata's own allocations only.
+//
+// Simulation benchmarks construct one sim.Runner per configuration and
+// Reset(seed) it per iteration, which is the intended sweep API: inboxes,
+// step contexts and the scheduler are reused across all iterations.
 package repro
 
 import (
@@ -27,6 +33,16 @@ func reportRun(b *testing.B, steps, msgs int64) {
 	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
 }
 
+// newRunner fails the benchmark on configuration errors.
+func newRunner(b *testing.B, cfg sim.Config) *sim.Runner {
+	b.Helper()
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
 // BenchmarkFig2SetAgreement regenerates experiment E1: Figure 2 (set
 // agreement from σ) across system sizes.
 func BenchmarkFig2SetAgreement(b *testing.B) {
@@ -38,13 +54,15 @@ func BenchmarkFig2SetAgreement(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			r := newRunner(b, sim.Config{
+				Pattern: f, History: oracle, Program: core.Fig2Program(props),
+				Scheduler: sim.NewRandomScheduler(0), StopWhenDecided: true, DisableTrace: true,
+			})
 			var steps, msgs int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(sim.Config{
-					Pattern: f, History: oracle, Program: core.Fig2Program(props),
-					Scheduler: sim.NewRandomScheduler(int64(i)), StopWhenDecided: true, DisableTrace: true,
-				})
+				res, err := r.Reset(int64(i)).Run()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -64,12 +82,15 @@ func BenchmarkFig3Emulation(b *testing.B) {
 	const n = 5
 	f := dist.CrashPattern(n, 4)
 	pair := dist.NewProcSet(1, 2)
+	r := newRunner(b, sim.Config{
+		Pattern: f, History: fd.NewSigmaS(f, pair, 20), Program: core.Fig3Program(pair),
+		Scheduler: sim.NewRandomScheduler(0), MaxSteps: 400, DisableTrace: true,
+	})
 	var steps, msgs int64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(sim.Config{
-			Pattern: f, History: fd.NewSigmaS(f, pair, 20), Program: core.Fig3Program(pair),
-			Scheduler: sim.NewRandomScheduler(int64(i)), MaxSteps: 400, DisableTrace: true,
-		})
+		res, err := r.Reset(int64(i)).Run()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,13 +112,15 @@ func BenchmarkFig4KSetAgreement(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			r := newRunner(b, sim.Config{
+				Pattern: f, History: oracle, Program: core.Fig4Program(props),
+				Scheduler: sim.NewRandomScheduler(0), StopWhenDecided: true, DisableTrace: true,
+			})
 			var steps, msgs int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(sim.Config{
-					Pattern: f, History: oracle, Program: core.Fig4Program(props),
-					Scheduler: sim.NewRandomScheduler(int64(i)), StopWhenDecided: true, DisableTrace: true,
-				})
+				res, err := r.Reset(int64(i)).Run()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -117,12 +140,15 @@ func BenchmarkFig5Emulation(b *testing.B) {
 	const n = 8
 	f := dist.CrashPattern(n, 7)
 	x := dist.RangeSet(1, 4)
+	r := newRunner(b, sim.Config{
+		Pattern: f, History: fd.NewSigmaS(f, x, 20), Program: core.Fig5Program(x),
+		Scheduler: sim.NewRandomScheduler(0), MaxSteps: 400, DisableTrace: true,
+	})
 	var steps, msgs int64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(sim.Config{
-			Pattern: f, History: fd.NewSigmaS(f, x, 20), Program: core.Fig5Program(x),
-			Scheduler: sim.NewRandomScheduler(int64(i)), MaxSteps: 400, DisableTrace: true,
-		})
+		res, err := r.Reset(int64(i)).Run()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,12 +167,15 @@ func BenchmarkFig6AntiOmega(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	r := newRunner(b, sim.Config{
+		Pattern: f, History: oracle, Program: core.Fig6Program(),
+		Scheduler: sim.NewRandomScheduler(0), MaxSteps: 800, DisableTrace: true,
+	})
 	var steps, msgs int64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(sim.Config{
-			Pattern: f, History: oracle, Program: core.Fig6Program(),
-			Scheduler: sim.NewRandomScheduler(int64(i)), MaxSteps: 800, DisableTrace: true,
-		})
+		res, err := r.Reset(int64(i)).Run()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,6 +188,7 @@ func BenchmarkFig6AntiOmega(b *testing.B) {
 // BenchmarkLemma7Refutation regenerates experiment E3.
 func BenchmarkLemma7Refutation(b *testing.B) {
 	pair := dist.NewProcSet(1, 2)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cert, err := separation.Lemma7(separation.Lemma7Config{
 			N: 4, Candidate: separation.HeartbeatCandidate(pair, 8), Seed: int64(i),
@@ -175,6 +205,7 @@ func BenchmarkLemma7Refutation(b *testing.B) {
 // BenchmarkLemma11Refutation regenerates experiment E6.
 func BenchmarkLemma11Refutation(b *testing.B) {
 	x := dist.RangeSet(1, 4)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cert, err := separation.Lemma11(separation.Lemma11Config{
 			N: 6, K: 2, Candidate: separation.HeartbeatSetCandidate(x, 8), Seed: int64(i),
@@ -190,6 +221,7 @@ func BenchmarkLemma11Refutation(b *testing.B) {
 
 // BenchmarkLemma15Refutation regenerates experiment E9.
 func BenchmarkLemma15Refutation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cert, err := separation.Lemma15(separation.Lemma15Config{
 			N: 5, Candidate: separation.EagerMinCandidate(6),
@@ -205,6 +237,7 @@ func BenchmarkLemma15Refutation(b *testing.B) {
 
 // BenchmarkTightness regenerates experiment E7.
 func BenchmarkTightness(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cert, err := separation.Tightness(separation.TightnessConfig{N: 8, K: 3, Seed: int64(i)})
 		if err != nil {
@@ -220,6 +253,7 @@ func BenchmarkTightness(b *testing.B) {
 func BenchmarkFigure1Lattice(b *testing.B) {
 	for _, n := range []int{4, 6, 8} {
 		b.Run(benchName("n", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := lattice.Build(lattice.Config{N: n, RunsPerRelation: 2, Seed: int64(i)}); err != nil {
 					b.Fatal(err)
@@ -235,15 +269,17 @@ func BenchmarkMajoritySigma(b *testing.B) {
 	for _, n := range []int{3, 5, 9, 15} {
 		b.Run(benchName("n", n), func(b *testing.B) {
 			f := dist.NewFailurePattern(n)
+			r := newRunner(b, sim.Config{
+				Pattern:   f,
+				History:   sim.HistoryFunc(func(dist.ProcID, dist.Time) any { return nil }),
+				Program:   fd.MajoritySigmaProgram(f.All()),
+				Scheduler: sim.NewRandomScheduler(0), MaxSteps: 1000, DisableTrace: true,
+			})
 			var steps, msgs int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(sim.Config{
-					Pattern:   f,
-					History:   sim.HistoryFunc(func(dist.ProcID, dist.Time) any { return nil }),
-					Program:   fd.MajoritySigmaProgram(f.All()),
-					Scheduler: sim.NewRandomScheduler(int64(i)), MaxSteps: 1000, DisableTrace: true,
-				})
+				res, err := r.Reset(int64(i)).Run()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -264,21 +300,24 @@ func BenchmarkABDRegister(b *testing.B) {
 	base[0] = []register.Op{{Kind: register.WriteOp}, {Kind: register.ReadOp}, {Kind: register.WriteOp}}
 	base[1] = []register.Op{{Kind: register.ReadOp}, {Kind: register.WriteOp}, {Kind: register.ReadOp}}
 	scripts := register.UniqueWrites(base)
-	var steps, msgs int64
-	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(sim.Config{
-			Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: register.Program(s, scripts),
-			Scheduler: sim.NewRandomScheduler(int64(i)), MaxSteps: 60_000,
-			StopWhen: func(sn *sim.Snapshot) bool {
-				for _, p := range s.Members() {
-					node, ok := sn.Automaton(p).(*register.Node)
-					if !ok || !node.Done() {
-						return false
-					}
+	r := newRunner(b, sim.Config{
+		Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: register.Program(s, scripts),
+		Scheduler: sim.NewRandomScheduler(0), MaxSteps: 60_000,
+		StopWhen: func(sn *sim.Snapshot) bool {
+			for _, p := range s.Members() {
+				node, ok := sn.Automaton(p).(*register.Node)
+				if !ok || !node.Done() {
+					return false
 				}
-				return true
-			},
-		})
+			}
+			return true
+		},
+	})
+	var steps, msgs int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Reset(int64(i)).Run()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -299,14 +338,16 @@ func BenchmarkConsensus(b *testing.B) {
 		b.Run(benchName("n", n), func(b *testing.B) {
 			f := dist.NewFailurePattern(n)
 			props := agreement.DistinctProposals(n)
+			r := newRunner(b, sim.Config{
+				Pattern: f, History: consensus.NewOracle(f, 25), Program: consensus.Program(props),
+				Scheduler: sim.NewRandomScheduler(0), MaxSteps: 200_000,
+				StopWhenDecided: true, DisableTrace: true,
+			})
 			var steps, msgs int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(sim.Config{
-					Pattern: f, History: consensus.NewOracle(f, 25), Program: consensus.Program(props),
-					Scheduler: sim.NewRandomScheduler(int64(i)), MaxSteps: 200_000,
-					StopWhenDecided: true, DisableTrace: true,
-				})
+				res, err := r.Reset(int64(i)).Run()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -335,11 +376,13 @@ func BenchmarkAblationStackVsOracle(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		r := newRunner(b, sim.Config{
+			Pattern: f, History: oracle, Program: core.Fig4Program(props),
+			Scheduler: sim.NewRandomScheduler(0), StopWhenDecided: true, DisableTrace: true,
+		})
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, err := sim.Run(sim.Config{
-				Pattern: f, History: oracle, Program: core.Fig4Program(props),
-				Scheduler: sim.NewRandomScheduler(int64(i)), StopWhenDecided: true, DisableTrace: true,
-			})
+			res, err := r.Reset(int64(i)).Run()
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -352,11 +395,13 @@ func BenchmarkAblationStackVsOracle(b *testing.B) {
 		prog := func(p dist.ProcID, nn int) sim.Automaton {
 			return sim.NewStack(core.NewFig5(p, x), core.NewFig4(p, nn, props[p-1]))
 		}
+		r := newRunner(b, sim.Config{
+			Pattern: f, History: fd.NewSigmaS(f, x, 20), Program: prog,
+			Scheduler: sim.NewRandomScheduler(0), StopWhenDecided: true, DisableTrace: true,
+		})
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, err := sim.Run(sim.Config{
-				Pattern: f, History: fd.NewSigmaS(f, x, 20), Program: prog,
-				Scheduler: sim.NewRandomScheduler(int64(i)), StopWhenDecided: true, DisableTrace: true,
-			})
+			res, err := r.Reset(int64(i)).Run()
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -377,12 +422,18 @@ func BenchmarkAblationSchedulers(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	run := func(b *testing.B, mk func(i int) sim.Scheduler) {
+	run := func(b *testing.B, sched sim.Scheduler, reseed bool) {
+		r := newRunner(b, sim.Config{
+			Pattern: f, History: oracle, Program: core.Fig2Program(props),
+			Scheduler: sched, StopWhenDecided: true, DisableTrace: true,
+		})
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, err := sim.Run(sim.Config{
-				Pattern: f, History: oracle, Program: core.Fig2Program(props),
-				Scheduler: mk(i), StopWhenDecided: true, DisableTrace: true,
-			})
+			seed := int64(i)
+			if !reseed {
+				seed = 0 // round-robin ignores it; Reset still rewinds state
+			}
+			res, err := r.Reset(seed).Run()
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -392,10 +443,10 @@ func BenchmarkAblationSchedulers(b *testing.B) {
 		}
 	}
 	b.Run("random", func(b *testing.B) {
-		run(b, func(i int) sim.Scheduler { return sim.NewRandomScheduler(int64(i)) })
+		run(b, sim.NewRandomScheduler(0), true)
 	})
 	b.Run("roundrobin", func(b *testing.B) {
-		run(b, func(i int) sim.Scheduler { return &sim.RoundRobinScheduler{} })
+		run(b, &sim.RoundRobinScheduler{}, false)
 	})
 }
 
@@ -410,6 +461,7 @@ func benchName(prefix string, v int) string {
 // BenchmarkHierarchy regenerates experiment E14: the full failure-detector
 // strictness chain, every edge machine-checked.
 func BenchmarkHierarchy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := hierarchy.Build(hierarchy.Config{N: 6, K: 2, Seed: int64(i)}); err != nil {
 			b.Fatal(err)

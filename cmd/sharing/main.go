@@ -102,6 +102,15 @@ func cmdHierarchy(args []string) error {
 	return nil
 }
 
+// newPattern validates a user-supplied system size before handing it to
+// dist (which panics on programmer error, not user input).
+func newPattern(n int) (*dist.FailurePattern, error) {
+	if n < 1 || n > dist.MaxProcs {
+		return nil, fmt.Errorf("-n %d outside 1..%d", n, dist.MaxProcs)
+	}
+	return dist.NewFailurePattern(n), nil
+}
+
 func parseCrash(f *dist.FailurePattern, spec string) error {
 	if spec == "" {
 		return nil
@@ -111,6 +120,9 @@ func parseCrash(f *dist.FailurePattern, spec string) error {
 		n, err := fmt.Sscanf(spec, "%d", &p)
 		if n != 1 || err != nil {
 			return fmt.Errorf("bad -crash list %q", spec)
+		}
+		if p < 1 || p > f.N() {
+			return fmt.Errorf("-crash process p%d outside 1..%d", p, f.N())
 		}
 		f.CrashAt(dist.ProcID(p), 0)
 		for len(spec) > 0 && spec[0] != ',' {
@@ -150,7 +162,10 @@ func cmdSetAgreement(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f := dist.NewFailurePattern(*n)
+	f, err := newPattern(*n)
+	if err != nil {
+		return err
+	}
 	if err := parseCrash(f, *crash); err != nil {
 		return err
 	}
@@ -181,7 +196,10 @@ func cmdKSet(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f := dist.NewFailurePattern(*n)
+	f, err := newPattern(*n)
+	if err != nil {
+		return err
+	}
 	if err := parseCrash(f, *crash); err != nil {
 		return err
 	}
@@ -214,7 +232,13 @@ func cmdRegister(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f := dist.NewFailurePattern(*n)
+	f, err := newPattern(*n)
+	if err != nil {
+		return err
+	}
+	if *n < 2 {
+		return fmt.Errorf("register needs -n ≥ 2 (the register is shared by S = {p1,p2})")
+	}
 	s := dist.NewProcSet(1, 2)
 	base := make([][]register.Op, *n)
 	base[0] = []register.Op{{Kind: register.WriteOp}, {Kind: register.ReadOp}, {Kind: register.WriteOp}, {Kind: register.ReadOp}}
@@ -250,7 +274,10 @@ func cmdConsensus(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f := dist.NewFailurePattern(*n)
+	f, err := newPattern(*n)
+	if err != nil {
+		return err
+	}
 	if err := parseCrash(f, *crash); err != nil {
 		return err
 	}
@@ -325,7 +352,10 @@ func cmdEmulate(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	f := dist.NewFailurePattern(*n)
+	f, err := newPattern(*n)
+	if err != nil {
+		return err
+	}
 	horizon := int64(500)
 	switch which {
 	case "fig3":
@@ -383,7 +413,10 @@ func cmdMajoritySigma(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f := dist.NewFailurePattern(*n)
+	f, err := newPattern(*n)
+	if err != nil {
+		return err
+	}
 	f.CrashAt(dist.ProcID(*n), 40) // a minority crash mid-run
 	horizon := int64(2000)
 	res, err := sim.Run(sim.Config{

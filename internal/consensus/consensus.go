@@ -29,6 +29,11 @@ type FD struct {
 type Oracle struct {
 	Omega *fd.OmegaOracle
 	Sigma *fd.SigmaSOracle
+
+	// last/lastAny memoize the boxed output: consecutive queries mostly see
+	// the same (leader, trusted) pair, so the query path rarely allocates.
+	last    FD
+	lastAny any
 }
 
 // NewOracle builds the composite Ω+Σ oracle for pattern f.
@@ -43,7 +48,11 @@ func NewOracle(f *dist.FailurePattern, stab dist.Time) *Oracle {
 func (o *Oracle) Output(p dist.ProcID, t dist.Time) any {
 	leader, _ := o.Omega.Output(p, t).(dist.ProcID)
 	tl, _ := o.Sigma.Output(p, t).(fd.TrustList)
-	return FD{Leader: leader, Trusted: tl.Trusted}
+	v := FD{Leader: leader, Trusted: tl.Trusted}
+	if o.lastAny == nil || v != o.last {
+		o.last, o.lastAny = v, v
+	}
+	return o.lastAny
 }
 
 // Ballot identifies a proposal attempt; ballots of distinct processes never

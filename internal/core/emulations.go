@@ -11,9 +11,10 @@ import (
 // copy the Σ output whenever it stays inside the pair and output ∅
 // otherwise; everyone else outputs ⊥.
 type Fig3 struct {
-	self dist.ProcID
-	pair dist.ProcSet
-	out  SigmaOut
+	self   dist.ProcID
+	pair   dist.ProcSet
+	out    SigmaOut
+	outAny any // out boxed once per change; Output is queried every step
 }
 
 var _ sim.Emulator = (*Fig3)(nil)
@@ -25,6 +26,7 @@ func NewFig3(self dist.ProcID, pair dist.ProcSet) *Fig3 {
 	if !pair.Contains(self) {
 		a.out = SigmaOut{Bottom: true}
 	}
+	a.outAny = a.out
 	return a
 }
 
@@ -44,24 +46,28 @@ func (a *Fig3) Step(e *sim.Env) {
 	if !ok || y.Bottom {
 		return
 	}
+	next := SigmaOut{}
 	if y.Trusted.SubsetOf(a.pair) {
-		a.out = SigmaOut{Trusted: y.Trusted}
-	} else {
-		a.out = SigmaOut{}
+		next = SigmaOut{Trusted: y.Trusted}
+	}
+	if next != a.out {
+		a.out = next
+		a.outAny = next
 	}
 }
 
 // Output implements sim.Emulator.
-func (a *Fig3) Output() any { return a.out }
+func (a *Fig3) Output() any { return a.outAny }
 
 // Fig5 is the algorithm of Figure 5: it emulates σ|X| from Σ_X for an
 // arbitrary process subset X, proving σ|X| ⪯ Σ_X (Lemma 10). Members of X
 // output (Y, X) whenever the Σ_X output Y stays inside X and ∅ otherwise;
 // everyone else outputs ⊥.
 type Fig5 struct {
-	self dist.ProcID
-	x    dist.ProcSet
-	out  SigmaKOut
+	self   dist.ProcID
+	x      dist.ProcSet
+	out    SigmaKOut
+	outAny any // out boxed once per change; Output is queried every step
 }
 
 var _ sim.Emulator = (*Fig5)(nil)
@@ -74,6 +80,7 @@ func NewFig5(self dist.ProcID, x dist.ProcSet) *Fig5 {
 	} else {
 		a.out = SigmaKOut{Bottom: true}
 	}
+	a.outAny = a.out
 	return a
 }
 
@@ -93,15 +100,18 @@ func (a *Fig5) Step(e *sim.Env) {
 	if !ok || y.Bottom {
 		return
 	}
+	next := SigmaKOut{Empty: true}
 	if y.Trusted.SubsetOf(a.x) {
-		a.out = SigmaKOut{Trusted: y.Trusted, Active: a.x}
-	} else {
-		a.out = SigmaKOut{Empty: true}
+		next = SigmaKOut{Trusted: y.Trusted, Active: a.x}
+	}
+	if next != a.out {
+		a.out = next
+		a.outAny = next
 	}
 }
 
 // Output implements sim.Emulator.
-func (a *Fig5) Output() any { return a.out }
+func (a *Fig5) Output() any { return a.outAny }
 
 // Message payloads of the Figure 6 emulation.
 type (

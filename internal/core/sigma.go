@@ -43,12 +43,18 @@ const (
 	SigmaSilent
 )
 
-// SigmaOracle generates valid σ histories for a fixed active pair.
+// SigmaOracle generates valid σ histories for a fixed active pair. Its
+// three possible outputs are boxed once at construction, so Output on the
+// simulator's query path does not allocate.
 type SigmaOracle struct {
 	f    *dist.FailurePattern
 	a    dist.ProcSet
 	stab dist.Time
 	mode SigmaMode
+
+	bottomOut any // SigmaOut{Bottom: true}
+	emptyOut  any // SigmaOut{}
+	stabOut   any // SigmaOut{Trusted: Correct(F) ∩ A}
 }
 
 // NewSigmaOracle builds a σ oracle for failure pattern f with active pair a.
@@ -64,7 +70,12 @@ func NewSigmaOracle(f *dist.FailurePattern, a dist.ProcSet, stab dist.Time, mode
 	if mode == 0 {
 		mode = SigmaCanonical
 	}
-	return &SigmaOracle{f: f, a: a, stab: stab, mode: mode}, nil
+	return &SigmaOracle{
+		f: f, a: a, stab: stab, mode: mode,
+		bottomOut: SigmaOut{Bottom: true},
+		emptyOut:  SigmaOut{},
+		stabOut:   SigmaOut{Trusted: f.Correct().Intersect(a)},
+	}, nil
 }
 
 // Active returns the active pair A.
@@ -73,15 +84,15 @@ func (o *SigmaOracle) Active() dist.ProcSet { return o.a }
 // Output implements the history H(p, t).
 func (o *SigmaOracle) Output(p dist.ProcID, t dist.Time) any {
 	if !o.a.Contains(p) {
-		return SigmaOut{Bottom: true}
+		return o.bottomOut
 	}
 	if o.mode == SigmaSilent || t < o.stab {
-		return SigmaOut{}
+		return o.emptyOut
 	}
 	// Canonical stabilized output: the correct members of A. When both
 	// actives are faulty this is ∅, which is valid (completeness and
 	// non-triviality are then vacuous).
-	return SigmaOut{Trusted: o.f.Correct().Intersect(o.a)}
+	return o.stabOut
 }
 
 // CheckSigma verifies a history against Definition 3 for active pair a over

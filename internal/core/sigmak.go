@@ -82,12 +82,18 @@ const (
 	SigmaKTrustHigh
 )
 
-// SigmaKOracle generates valid σₖ histories for a fixed active set.
+// SigmaKOracle generates valid σₖ histories for a fixed active set. Its
+// three possible outputs are boxed once at construction, so Output on the
+// simulator's query path does not allocate.
 type SigmaKOracle struct {
 	f    *dist.FailurePattern
 	a    dist.ProcSet
 	stab dist.Time
 	mode SigmaKMode
+
+	bottomOut any // SigmaKOut{Bottom: true}
+	idleOut   any // (∅, A)
+	stabOut   any // (trust, A) per mode
 }
 
 // NewSigmaKOracle builds a σₖ oracle (k = |a|) for failure pattern f. It
@@ -115,7 +121,24 @@ func NewSigmaKOracle(f *dist.FailurePattern, a dist.ProcSet, stab dist.Time, mod
 			return nil, fmt.Errorf("core: SigmaKTrustHigh invalid: no correct process in the high half of %v", a)
 		}
 	}
-	return &SigmaKOracle{f: f, a: a, stab: stab, mode: mode}, nil
+	o := &SigmaKOracle{f: f, a: a, stab: stab, mode: mode}
+	var trust dist.ProcSet
+	switch mode {
+	case SigmaKTrustLow:
+		trust = correct.Intersect(low)
+	case SigmaKTrustHigh:
+		trust = correct.Intersect(high)
+	default:
+		trust = correct.Intersect(a)
+	}
+	o.bottomOut = SigmaKOut{Bottom: true}
+	o.idleOut = SigmaKOut{Trusted: 0, Active: a}
+	if trust.IsEmpty() {
+		o.stabOut = o.idleOut
+	} else {
+		o.stabOut = SigmaKOut{Trusted: trust, Active: a}
+	}
+	return o, nil
 }
 
 // Active returns the active set A.
@@ -124,26 +147,12 @@ func (o *SigmaKOracle) Active() dist.ProcSet { return o.a }
 // Output implements the history H(p, t).
 func (o *SigmaKOracle) Output(p dist.ProcID, t dist.Time) any {
 	if !o.a.Contains(p) {
-		return SigmaKOut{Bottom: true}
+		return o.bottomOut
 	}
-	idle := SigmaKOut{Trusted: 0, Active: o.a} // (∅, A)
 	if t < o.stab || o.mode == SigmaKNoInfo {
-		return idle
+		return o.idleOut
 	}
-	low, high := Halves(o.a)
-	var trust dist.ProcSet
-	switch o.mode {
-	case SigmaKTrustLow:
-		trust = o.f.Correct().Intersect(low)
-	case SigmaKTrustHigh:
-		trust = o.f.Correct().Intersect(high)
-	default:
-		trust = o.f.Correct().Intersect(o.a)
-	}
-	if trust.IsEmpty() {
-		return idle
-	}
-	return SigmaKOut{Trusted: trust, Active: o.a}
+	return o.stabOut
 }
 
 // CheckSigmaK verifies a history against Definition 9 for active set a over

@@ -130,6 +130,21 @@ func (s ProcSet) ForEach(fn func(ProcID)) {
 	}
 }
 
+// Nth returns the i-th smallest member (0-based), or None when i is out of
+// range. It never allocates.
+func (s ProcSet) Nth(i int) ProcID {
+	if i < 0 {
+		return None
+	}
+	for w := uint64(s); w != 0; w &= w - 1 {
+		if i == 0 {
+			return ProcID(bits.TrailingZeros64(w) + 1)
+		}
+		i--
+	}
+	return None
+}
+
 // Smallest returns the subset holding the k smallest members (all of s when
 // k ≥ |s|, the empty set when k ≤ 0).
 func (s ProcSet) Smallest(k int) ProcSet {

@@ -20,11 +20,11 @@ func (o *OmegaOracle) Output(p dist.ProcID, t dist.Time) any {
 	if t >= o.Stab {
 		return o.leader()
 	}
-	alive := o.F.AliveAt(t).Members()
-	if len(alive) == 0 {
+	alive := o.F.AliveAt(t)
+	if alive.IsEmpty() {
 		return o.leader()
 	}
-	return alive[int(t)%len(alive)]
+	return alive.Nth(int(t) % alive.Len())
 }
 
 func (o *OmegaOracle) leader() dist.ProcID {

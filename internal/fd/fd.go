@@ -45,12 +45,24 @@ type SigmaSOracle struct {
 	F    *dist.FailurePattern
 	S    dist.ProcSet
 	Stab dist.Time // stabilization time; 0 stabilizes immediately
+
+	// Boxed outputs, cached so the simulator's per-step query path does not
+	// allocate. lastAlive memoizes the pre-stabilization output, which only
+	// changes when a crash changes the alive set.
+	bottomOut, piOut, correctOut any
+	lastAlive                    dist.ProcSet
+	lastAliveOut                 any
 }
 
 // NewSigmaS returns the canonical Σ_S oracle for pattern f, shared-by set s,
 // stabilizing at stab.
 func NewSigmaS(f *dist.FailurePattern, s dist.ProcSet, stab dist.Time) *SigmaSOracle {
-	return &SigmaSOracle{F: f, S: s, Stab: stab}
+	return &SigmaSOracle{
+		F: f, S: s, Stab: stab,
+		bottomOut:  TrustList{Bottom: true},
+		piOut:      TrustList{Trusted: f.All()},
+		correctOut: TrustList{Trusted: f.Correct()},
+	}
 }
 
 // NewSigma returns the canonical Σ = Σ_Π oracle.
@@ -61,15 +73,28 @@ func NewSigma(f *dist.FailurePattern, stab dist.Time) *SigmaSOracle {
 // Output implements the history H(p, t).
 func (o *SigmaSOracle) Output(p dist.ProcID, t dist.Time) any {
 	if !o.S.Contains(p) {
-		return TrustList{Bottom: true}
+		if o.bottomOut == nil { // zero-value oracle built without NewSigmaS
+			o.bottomOut = TrustList{Bottom: true}
+		}
+		return o.bottomOut
 	}
 	if !o.F.Alive(p, t) {
-		return TrustList{Trusted: o.F.All()} // crashed member of S outputs Π
+		if o.piOut == nil {
+			o.piOut = TrustList{Trusted: o.F.All()}
+		}
+		return o.piOut // crashed member of S outputs Π
 	}
 	if t < o.Stab {
-		return TrustList{Trusted: o.F.AliveAt(t)}
+		alive := o.F.AliveAt(t)
+		if o.lastAliveOut == nil || alive != o.lastAlive {
+			o.lastAlive, o.lastAliveOut = alive, TrustList{Trusted: alive}
+		}
+		return o.lastAliveOut
 	}
-	return TrustList{Trusted: o.F.Correct()}
+	if o.correctOut == nil {
+		o.correctOut = TrustList{Trusted: o.F.Correct()}
+	}
+	return o.correctOut
 }
 
 // Violation describes a failure-detector property violation found by a

@@ -23,6 +23,7 @@ type MajoritySigma struct {
 	round  int64
 	acks   dist.ProcSet
 	output dist.ProcSet
+	outAny any // current output boxed once per change; queried every step
 }
 
 var _ sim.Emulator = (*MajoritySigma)(nil)
@@ -32,12 +33,18 @@ type pongMsg struct{ Round int64 }
 
 // NewMajoritySigma returns the Σ_S emulation automaton for process self.
 func NewMajoritySigma(self dist.ProcID, n int, s dist.ProcSet) *MajoritySigma {
-	return &MajoritySigma{
+	m := &MajoritySigma{
 		self:   self,
 		n:      n,
 		s:      s,
 		output: dist.FullSet(n), // Π until the first round completes
 	}
+	if m.s.Contains(self) {
+		m.outAny = TrustList{Trusted: m.output}
+	} else {
+		m.outAny = TrustList{Bottom: true}
+	}
+	return m
 }
 
 // MajoritySigmaProgram returns a Program running the Σ_S emulation at every
@@ -68,6 +75,9 @@ func (m *MajoritySigma) Step(e *sim.Env) {
 		return
 	}
 	if m.acks.Len() >= m.n/2+1 {
+		if m.acks != m.output {
+			m.outAny = TrustList{Trusted: m.acks}
+		}
 		m.output = m.acks
 		m.startRound(e)
 	}
@@ -80,9 +90,4 @@ func (m *MajoritySigma) startRound(e *sim.Env) {
 }
 
 // Output implements sim.Emulator: the current Σ_S output of this process.
-func (m *MajoritySigma) Output() any {
-	if !m.s.Contains(m.self) {
-		return TrustList{Bottom: true}
-	}
-	return TrustList{Trusted: m.output}
-}
+func (m *MajoritySigma) Output() any { return m.outAny }

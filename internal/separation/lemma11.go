@@ -108,7 +108,7 @@ func lemma11General(cfg Lemma11Config) (*Certificate, error) {
 				int(p), int(aux), int(p), target, cfg.Horizon),
 		}, nil
 	}
-	t1 := dist.Time(resR.Steps - 1)
+	t1 := dist.Time(resR.Ticks - 1)
 	outP, _ := trace.OutputAt(resR.Trace, p, t1)
 
 	fr2 := dist.NewFailurePattern(cfg.N)
@@ -158,7 +158,7 @@ func lemma11General(cfg Lemma11Config) (*Certificate, error) {
 				int(q), int(q), int(q), cfg.Horizon),
 		}, nil
 	}
-	t2 := dist.Time(resR2.Steps - 1)
+	t2 := dist.Time(resR2.Ticks - 1)
 	outQ, _ := trace.OutputAt(resR2.Trace, q, t2)
 	return &Certificate{
 		Lemma:          "Lemma 11",
@@ -216,7 +216,7 @@ func lemma11Tight(cfg Lemma11Config) (*Certificate, error) {
 				pair1, int(l1), pair1, cfg.Horizon),
 		}, nil
 	}
-	t1 := dist.Time(resR.Steps - 1)
+	t1 := dist.Time(resR.Ticks - 1)
 	out1, _ := trace.OutputAt(resR.Trace, l1, t1)
 
 	fr2 := dist.NewFailurePattern(cfg.N)
@@ -257,7 +257,7 @@ func lemma11Tight(cfg Lemma11Config) (*Certificate, error) {
 				pair2, int(l2), pair2, cfg.Horizon),
 		}, nil
 	}
-	t2 := dist.Time(resR2.Steps - 1)
+	t2 := dist.Time(resR2.Ticks - 1)
 	out2, _ := trace.OutputAt(resR2.Trace, l2, t2)
 	return &Certificate{
 		Lemma:          "Lemma 11 (n=2k)",

@@ -143,7 +143,7 @@ func Lemma7(cfg Lemma7Config) (*Certificate, error) {
 				int(cfg.P), int(cfg.Aux), int(cfg.P), target, cfg.Horizon),
 		}, nil
 	}
-	t1 := dist.Time(resR.Steps - 1) // the step at which the condition held
+	t1 := dist.Time(resR.Ticks - 1) // the step at which the condition held
 	outP, _ := trace.OutputAt(resR.Trace, cfg.P, t1)
 
 	// ---- Run r′ ----
@@ -199,7 +199,7 @@ func Lemma7(cfg Lemma7Config) (*Certificate, error) {
 				int(cfg.Q), int(cfg.Q), int(cfg.Q), cfg.Horizon),
 		}, nil
 	}
-	t2 := dist.Time(resR2.Steps - 1)
+	t2 := dist.Time(resR2.Ticks - 1)
 	outQ, _ := trace.OutputAt(resR2.Trace, cfg.Q, t2)
 	outPr2, _ := trace.OutputAt(resR2.Trace, cfg.P, t1)
 

@@ -45,7 +45,9 @@ type Emulator interface {
 type Program func(p dist.ProcID, n int) Automaton
 
 // Env is the step context handed to Automaton.Step. It is valid only for the
-// duration of the call.
+// duration of the call. The runner reuses one Env (and each Stack one Env
+// per layer) across all steps of a run, so a step on the hot path allocates
+// nothing beyond what the automaton itself does.
 type Env struct {
 	self dist.ProcID
 	n    int
@@ -53,12 +55,17 @@ type Env struct {
 
 	delivered *Message
 	layer     Layer
+	// The failure detector queried by QueryFD: queryFD when non-nil (stacked
+	// layers bind the emulator below once), else history (the oracle, bound
+	// once per runner — no per-step closure).
 	queryFD   func() any
+	history   History
 	fdCache   any
 	fdQueried bool
 
 	sends    []sendReq
-	decision *any
+	decided  bool
+	decision any
 	ops      []opEvent
 }
 
@@ -97,7 +104,11 @@ func (e *Env) Delivered() (payload any, from dist.ProcID, ok bool) {
 // grants one query per step).
 func (e *Env) QueryFD() any {
 	if !e.fdQueried {
-		e.fdCache = e.queryFD()
+		if e.queryFD != nil {
+			e.fdCache = e.queryFD()
+		} else {
+			e.fdCache = e.history.Output(e.self, e.now)
+		}
 		e.fdQueried = true
 	}
 	return e.fdCache
@@ -132,7 +143,8 @@ func (e *Env) BroadcastAll(payload any) {
 // Decide records the irrevocable decision of a task value. Deciding twice is
 // a protocol error surfaced in the run result.
 func (e *Env) Decide(v any) {
-	e.decision = &v
+	e.decided = true
+	e.decision = v
 }
 
 // Invoke records the invocation of a shared-object operation (for
@@ -157,6 +169,7 @@ func (e *Env) Return(seq int64, desc any) {
 // Messages are routed to the layer that sent them.
 type Stack struct {
 	layers []Automaton
+	subs   []Env // one reusable step context per layer
 }
 
 var _ Emulator = (*Stack)(nil)
@@ -173,31 +186,43 @@ func NewStack(layers ...Automaton) *Stack {
 			panic("sim: inner stack layer must implement Emulator")
 		}
 	}
-	return &Stack{layers: layers}
+	s := &Stack{layers: layers, subs: make([]Env, len(layers))}
+	for i := range s.subs {
+		s.subs[i].layer = Layer(i)
+		if i > 0 {
+			// Bind the emulated-output query once, not per step.
+			s.subs[i].queryFD = layers[i-1].(Emulator).Output
+		}
+	}
+	return s
 }
 
 // Step advances every layer once. The delivered message (if any) is visible
 // only to the layer it was addressed to.
 func (s *Stack) Step(e *Env) {
 	for i, layer := range s.layers {
-		sub := Env{
-			self:  e.self,
-			n:     e.n,
-			now:   e.now,
-			layer: Layer(i),
-		}
+		sub := &s.subs[i]
+		sub.self = e.self
+		sub.n = e.n
+		sub.now = e.now
+		sub.delivered = nil
+		sub.fdCache = nil
+		sub.fdQueried = false
+		sub.sends = sub.sends[:0]
+		sub.decided = false
+		sub.decision = nil
+		sub.ops = sub.ops[:0]
 		if e.delivered != nil && e.delivered.Layer == Layer(i) {
 			sub.delivered = e.delivered
 		}
 		if i == 0 {
 			sub.queryFD = e.queryFD
-		} else {
-			emu := s.layers[i-1].(Emulator)
-			sub.queryFD = emu.Output
+			sub.history = e.history
 		}
-		layer.Step(&sub)
+		layer.Step(sub)
 		e.sends = append(e.sends, sub.sends...)
-		if sub.decision != nil && e.decision == nil {
+		if sub.decided && !e.decided {
+			e.decided = true
 			e.decision = sub.decision
 		}
 		e.ops = append(e.ops, sub.ops...)

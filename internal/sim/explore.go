@@ -252,9 +252,9 @@ func (e *explorer) branch(s *xstate, depth int, p dist.ProcID, msgIdx int) {
 	for _, sr := range env.sends {
 		c.queues[sr.to] = append(c.queues[sr.to], xmsg{from: p, layer: sr.layer, payload: sr.payload})
 	}
-	if env.decision != nil {
+	if env.decided {
 		if _, dup := c.decisions[p]; !dup {
-			c.decisions[p] = *env.decision
+			c.decisions[p] = env.decision
 		}
 	}
 	c.t++

@@ -1,0 +1,84 @@
+package sim
+
+// inbox is a process's queue of in-transit messages, laid out for the
+// runner's hot path: messages are stored by value in one growable buffer, so
+// sending never allocates once the buffer has reached the backlog high-water
+// mark, and the common delivery (oldest deliverable message, which is the
+// head) is a cursor increment instead of the O(queue) copy-on-remove of a
+// slice-of-pointers queue.
+//
+// Deliveries from the middle of the queue (a DeliveryFilter or DeliverMatch
+// skipping older messages) tombstone the entry in place; the head cursor
+// skips tombstones as it passes them. When the queue drains completely the
+// buffer is rewound to its start, reusing its capacity forever.
+type inbox struct {
+	buf  []inboxEntry
+	head int // index of the oldest possibly-live entry
+	live int // number of non-tombstoned entries in buf[head:]
+}
+
+type inboxEntry struct {
+	msg  Message
+	gone bool // delivered out of order; slot awaits the head cursor
+}
+
+// push appends a message to the queue.
+func (q *inbox) push(m Message) {
+	q.buf = append(q.buf, inboxEntry{msg: m})
+	q.live++
+}
+
+// reset empties the queue, keeping the buffer capacity.
+func (q *inbox) reset() {
+	q.buf = q.buf[:0]
+	q.head = 0
+	q.live = 0
+}
+
+// skipGone advances head past tombstones, rewinds the drained buffer, and
+// compacts once dead entries dominate — both the consumed prefix and
+// tombstones scattered behind a blocked head (a DeliveryFilter can pin the
+// oldest message while later ones flow) — so the buffer and its scans stay
+// O(backlog) instead of O(messages ever received). Every compaction drops
+// more than half the window, so deliveries stay amortized O(1).
+func (q *inbox) skipGone() {
+	for q.head < len(q.buf) && q.buf[q.head].gone {
+		q.head++
+	}
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+		return
+	}
+	if dead := len(q.buf) - q.head - q.live; dead > 32 && dead > q.live {
+		w := 0
+		for i := q.head; i < len(q.buf); i++ {
+			if !q.buf[i].gone {
+				q.buf[w] = q.buf[i]
+				w++
+			}
+		}
+		q.buf = q.buf[:w]
+		q.head = 0
+		return
+	}
+	if q.head > 32 && q.head > len(q.buf)/2 {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+}
+
+// take removes the entry at index i (which must be live) and returns its
+// message.
+func (q *inbox) take(i int) Message {
+	m := q.buf[i].msg
+	if i == q.head {
+		q.head++
+	} else {
+		q.buf[i].gone = true
+	}
+	q.live--
+	q.skipGone()
+	return m
+}

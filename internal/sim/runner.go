@@ -56,8 +56,8 @@ type Config struct {
 	Program Program
 	// Scheduler drives the interleaving. Defaults to NewRandomScheduler(1).
 	Scheduler Scheduler
-	// MaxSteps bounds the total number of steps (the finite horizon standing
-	// in for the model's infinite runs). Defaults to 10_000·n.
+	// MaxSteps bounds the run's time horizon in ticks (the finite horizon
+	// standing in for the model's infinite runs). Defaults to 10_000·n.
 	MaxSteps int64
 	// DeliveryFilter, when non-nil, marks messages as temporarily
 	// undeliverable (the proofs' "messages are delayed until ..."). A
@@ -73,7 +73,11 @@ type Config struct {
 
 // Result is the outcome of a run.
 type Result struct {
+	// Steps counts executed automaton steps; Ticks counts elapsed model
+	// time, including idle ticks where no process stepped. Trace times and
+	// MaxSteps are in ticks.
 	Steps      int64
+	Ticks      int64
 	Reason     StopReason
 	Decisions  map[dist.ProcID]any
 	DecideTime map[dist.ProcID]dist.Time
@@ -97,7 +101,7 @@ func (r *Result) DistinctDecisions() int {
 	for _, v := range r.Decisions {
 		dup := false
 		for _, w := range seen {
-			if reflect.DeepEqual(v, w) {
+			if valuesEqual(v, w) {
 				dup = true
 				break
 			}
@@ -109,16 +113,60 @@ func (r *Result) DistinctDecisions() int {
 	return len(seen)
 }
 
+// valuesEqual compares two dynamic values, using == when the dynamic type
+// supports it and falling back to reflect.DeepEqual for non-comparable
+// types (slices, maps) and for top-level pointers, which == would compare
+// by identity while DeepEqual compares pointees. Emulator outputs and
+// decisions are almost always small comparable values (ProcSet, TrustList,
+// ints), so the hot path never enters reflect. Residual caveat, accepted
+// for speed: a pointer nested inside a comparable struct still compares by
+// identity.
+func valuesEqual(a, b any) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) {
+		return false
+	}
+	switch ta.Kind() {
+	case reflect.Pointer, reflect.UnsafePointer:
+		return reflect.DeepEqual(a, b)
+	}
+	if ta.Comparable() {
+		if eq, ok := tryEqual(a, b); ok {
+			return eq
+		}
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// tryEqual attempts a == b, reporting ok=false when the comparison panics: a
+// comparable static type can still hold uncomparable values in interface
+// fields (e.g. struct{ V any } with V = []int), which == rejects at runtime
+// but DeepEqual handles. The recover cannot swallow unrelated panics — the
+// interface comparison is the only operation in the function.
+func tryEqual(a, b any) (eq, ok bool) {
+	defer func() {
+		if recover() != nil {
+			eq, ok = false, false
+		}
+	}()
+	return a == b, true
+}
+
 // Snapshot exposes live run state to StopWhen conditions.
-type Snapshot struct{ r *runner }
+type Snapshot struct{ r *Runner }
 
 // Now returns the current time.
 func (s *Snapshot) Now() dist.Time { return s.r.now }
 
 // Decided returns p's decision, if it has decided.
 func (s *Snapshot) Decided(p dist.ProcID) (any, bool) {
-	v, ok := s.r.decisions[p]
-	return v, ok
+	if !s.r.decidedSet.Contains(p) {
+		return nil, false
+	}
+	return s.r.decisions[p-1], true
 }
 
 // AllCorrectDecided reports whether every correct process has decided.
@@ -137,25 +185,49 @@ func (s *Snapshot) EmuOutput(p dist.ProcID) any {
 // Conditions must treat it as read-only.
 func (s *Snapshot) Automaton(p dist.ProcID) Automaton { return s.r.automata[p-1] }
 
-type runner struct {
-	cfg      Config
-	n        int
-	now      dist.Time
+// Runner executes runs of one configured system. A Runner owns all hot-path
+// state — per-process inboxes, the step context, the scheduler view — and
+// Reset rewinds it without releasing any buffer, so sweeps and benchmarks
+// amortize their allocations across arbitrarily many runs:
+//
+//	r, err := sim.NewRunner(cfg)
+//	for seed := int64(0); seed < runs; seed++ {
+//		res, err := r.Reset(seed).Run()
+//		...
+//	}
+//
+// The zero-based package-level Run remains the one-shot convenience wrapper.
+// A Runner is not safe for concurrent use; Run may be called once per Reset.
+type Runner struct {
+	cfg Config
+	n   int
+
+	now   dist.Time
+	steps int64
+	seq   int64
+	sent  int64
+
 	automata []Automaton
-	queues   [][]*Message
-	seq      int64
-	sent     int64
+	inboxes  []inbox // indexed by ProcID (slot 0 unused)
 
-	decisions  map[dist.ProcID]any
-	decideTime map[dist.ProcID]dist.Time
+	decisions  []any       // indexed by ProcID-1
+	decideTime []dist.Time // indexed by ProcID-1
+	decidedSet dist.ProcSet
+	correct    dist.ProcSet
 
-	tr      *trace.Trace
-	lastEmu []any
-	hasEmu  []bool
+	tr        *trace.Trace
+	lastEmu   []any
+	hasEmu    []bool
+	delivered Message // scratch copy of the message handed to the stepping automaton
 
 	crashEvents []crashEvent
 	crashPos    int
 
+	view View // reused scheduler view; Pending/Decided bound once
+	env  Env  // reused step context
+	snap Snapshot
+
+	ran bool
 	err error
 }
 
@@ -172,11 +244,27 @@ var (
 	ErrDoubleDecision = errors.New("sim: process decided twice")
 )
 
+// Reseeder is implemented by schedulers that can rewind to a fresh seeded
+// state, letting Runner.Reset reuse one scheduler across runs.
+type Reseeder interface {
+	Reseed(seed int64)
+}
+
 // Run executes a configured run to completion and returns its result. The
 // only errors are protocol/setup errors (double decision, scripted schedule
 // inconsistencies); property violations are for checkers to find in the
 // result, not errors.
 func Run(cfg Config) (*Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// NewRunner validates cfg, sizes every buffer for its system and prepares
+// the first run. Call Run to execute it, and Reset between runs.
+func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.Pattern == nil {
 		return nil, errors.New("sim: Config.Pattern is required")
 	}
@@ -194,52 +282,124 @@ func Run(cfg Config) (*Result, error) {
 		cfg.MaxSteps = int64(10_000 * n)
 	}
 
-	r := &runner{
+	r := &Runner{
 		cfg:        cfg,
 		n:          n,
-		automata:   make([]Automaton, n),
-		queues:     make([][]*Message, n+1),
-		decisions:  make(map[dist.ProcID]any, n),
-		decideTime: make(map[dist.ProcID]dist.Time, n),
+		inboxes:    make([]inbox, n+1),
+		decisions:  make([]any, n),
+		decideTime: make([]dist.Time, n),
+		correct:    cfg.Pattern.Correct(),
 		lastEmu:    make([]any, n),
 		hasEmu:     make([]bool, n),
 	}
-	if !cfg.DisableTrace {
-		r.tr = &trace.Trace{}
+	r.snap = Snapshot{r: r}
+	r.view = View{
+		N:       n,
+		Correct: r.correct,
+		Pending: r.viewPending,
+		Decided: r.viewDecided,
 	}
+	r.env.history = cfg.History
+	// The pattern is part of the configured system and must not change over
+	// the runner's lifetime (Correct above is cached on the same premise),
+	// so the sorted crash schedule is built once here, not per Reset.
 	for p := dist.ProcID(1); int(p) <= n; p++ {
-		r.automata[p-1] = cfg.Program(p, n)
 		if c := cfg.Pattern.CrashTime(p); c != dist.NoCrash {
 			r.crashEvents = append(r.crashEvents, crashEvent{t: c, p: p})
 		}
 	}
 	sort.Slice(r.crashEvents, func(i, j int) bool { return r.crashEvents[i].t < r.crashEvents[j].t })
+	r.reset()
+	return r, nil
+}
+
+// Reset rewinds the runner for another run of the same system: fresh
+// automata from the Program, empty inboxes and decision state, time zero.
+// The scheduler is reseeded when it implements Reseeder (NewRandomScheduler
+// does); scripted schedulers can instead be swapped via fresh configs. Reset
+// returns the runner for chaining.
+func (r *Runner) Reset(seed int64) *Runner {
+	if rs, ok := r.cfg.Scheduler.(Reseeder); ok {
+		rs.Reseed(seed)
+	}
+	r.reset()
+	return r
+}
+
+func (r *Runner) reset() {
+	r.now = 0
+	r.steps = 0
+	r.seq = 0
+	r.sent = 0
+	r.err = nil
+	r.ran = false
+	r.decidedSet = 0
+	r.crashPos = 0
+	for i := range r.inboxes {
+		r.inboxes[i].reset()
+	}
+	for i := 0; i < r.n; i++ {
+		r.decisions[i] = nil
+		r.decideTime[i] = 0
+		r.lastEmu[i] = nil
+		r.hasEmu[i] = false
+	}
+
+	// Fresh automata: the Program owns per-run process state. The slice is
+	// reallocated (not reused) because results hand it out for inspection.
+	r.automata = make([]Automaton, r.n)
+	for p := dist.ProcID(1); int(p) <= r.n; p++ {
+		r.automata[p-1] = r.cfg.Program(p, r.n)
+	}
+
+	r.tr = nil
+	if !r.cfg.DisableTrace {
+		r.tr = &trace.Trace{}
+	}
 
 	// Record initial emulator outputs at time -1 so OutputAt is defined from
 	// the very first step.
-	for p := dist.ProcID(1); int(p) <= n; p++ {
+	for p := dist.ProcID(1); int(p) <= r.n; p++ {
 		if emu, ok := r.automata[p-1].(Emulator); ok {
 			out := emu.Output()
 			r.lastEmu[p-1], r.hasEmu[p-1] = out, true
 			r.record(trace.Event{T: -1, P: p, Kind: trace.EmuKind, Payload: out})
 		}
 	}
+}
 
+// Run executes the prepared run to completion. It may be called once per
+// Reset.
+func (r *Runner) Run() (*Result, error) {
+	if r.ran {
+		return nil, errors.New("sim: Runner.Run called twice without Reset")
+	}
+	r.ran = true
 	reason := r.loop()
 	res := &Result{
-		Steps:        int64(r.now),
+		Steps:        r.steps,
+		Ticks:        int64(r.now),
 		Reason:       reason,
-		Decisions:    r.decisions,
-		DecideTime:   r.decideTime,
+		Decisions:    make(map[dist.ProcID]any, r.decidedSet.Len()),
+		DecideTime:   make(map[dist.ProcID]dist.Time, r.decidedSet.Len()),
 		Trace:        r.tr,
 		Automata:     r.automata,
 		MessagesSent: r.sent,
 	}
+	r.decidedSet.ForEach(func(p dist.ProcID) {
+		res.Decisions[p] = r.decisions[p-1]
+		res.DecideTime[p] = r.decideTime[p-1]
+	})
 	return res, r.err
 }
 
-func (r *runner) loop() StopReason {
-	snap := &Snapshot{r: r}
+// viewPending and viewDecided back the scheduler view; binding them as
+// method values once per runner replaces the per-step closure pair.
+func (r *Runner) viewPending(p dist.ProcID) int { return r.pendingCount(p, r.now) }
+
+func (r *Runner) viewDecided(p dist.ProcID) bool { return r.decidedSet.Contains(p) }
+
+func (r *Runner) loop() StopReason {
 	for ; int64(r.now) < r.cfg.MaxSteps; r.now++ {
 		t := r.now
 		r.emitCrashes(t)
@@ -250,15 +410,9 @@ func (r *runner) loop() StopReason {
 		if r.cfg.StopWhenDecided && r.allCorrectDecided() {
 			return ReasonAllDecided
 		}
-		view := View{
-			Now:     t,
-			N:       r.n,
-			Alive:   alive,
-			Correct: r.cfg.Pattern.Correct(),
-			Pending: func(p dist.ProcID) int { return r.pendingCount(p, t) },
-			Decided: func(p dist.ProcID) bool { _, ok := r.decisions[p]; return ok },
-		}
-		choice, ok := r.cfg.Scheduler.Next(&view)
+		r.view.Now = t
+		r.view.Alive = alive
+		choice, ok := r.cfg.Scheduler.Next(&r.view)
 		if !ok {
 			return ReasonSchedulerDone
 		}
@@ -274,7 +428,7 @@ func (r *runner) loop() StopReason {
 				return ReasonSchedulerDone
 			}
 		}
-		if r.cfg.StopWhen != nil && r.cfg.StopWhen(snap) {
+		if r.cfg.StopWhen != nil && r.cfg.StopWhen(&r.snap) {
 			r.now++
 			return ReasonStopCond
 		}
@@ -286,16 +440,23 @@ func (r *runner) loop() StopReason {
 	return ReasonMaxSteps
 }
 
-func (r *runner) step(p dist.ProcID, t dist.Time, msg *Message) {
-	env := Env{
-		self:      p,
-		n:         r.n,
-		now:       t,
-		delivered: msg,
-		layer:     0,
-		queryFD:   func() any { return r.cfg.History.Output(p, t) },
-	}
-	r.automata[p-1].Step(&env)
+func (r *Runner) step(p dist.ProcID, t dist.Time, msg *Message) {
+	e := &r.env
+	e.self = p
+	e.n = r.n
+	e.now = t
+	e.delivered = msg
+	e.layer = 0
+	e.queryFD = nil
+	e.fdCache = nil
+	e.fdQueried = false
+	e.sends = e.sends[:0]
+	e.decided = false
+	e.decision = nil
+	e.ops = e.ops[:0]
+
+	r.automata[p-1].Step(e)
+	r.steps++
 
 	if r.tr != nil {
 		ev := trace.Event{T: t, P: p, Kind: trace.StepKind}
@@ -306,33 +467,34 @@ func (r *runner) step(p dist.ProcID, t dist.Time, msg *Message) {
 			ev.Payload = msg.Payload
 			ev.Seq = msg.Seq
 		}
-		if env.fdQueried {
-			ev.FD = env.fdCache
+		if e.fdQueried {
+			ev.FD = e.fdCache
 		}
 		r.tr.Append(ev)
 	}
 
-	for _, sr := range env.sends {
+	for _, sr := range e.sends {
 		r.seq++
 		r.sent++
-		m := &Message{Seq: r.seq, From: p, To: sr.to, Sent: t, Layer: sr.layer, Payload: sr.payload}
-		r.queues[sr.to] = append(r.queues[sr.to], m)
+		m := Message{Seq: r.seq, From: p, To: sr.to, Sent: t, Layer: sr.layer, Payload: sr.payload}
+		r.inboxes[sr.to].push(m)
 		if r.tr != nil {
 			r.record(trace.Event{T: t, P: p, Kind: trace.SendKind, To: sr.to, Layer: int8(sr.layer), Seq: m.Seq, Payload: sr.payload})
 		}
 	}
 
-	if env.decision != nil {
-		if _, dup := r.decisions[p]; dup {
+	if e.decided {
+		if r.decidedSet.Contains(p) {
 			r.err = fmt.Errorf("%w: p%d at t=%d", ErrDoubleDecision, int(p), int64(t))
 			return
 		}
-		r.decisions[p] = *env.decision
-		r.decideTime[p] = t
-		r.record(trace.Event{T: t, P: p, Kind: trace.DecideKind, Payload: *env.decision})
+		r.decisions[p-1] = e.decision
+		r.decideTime[p-1] = t
+		r.decidedSet = r.decidedSet.Add(p)
+		r.record(trace.Event{T: t, P: p, Kind: trace.DecideKind, Payload: e.decision})
 	}
 
-	for _, op := range env.ops {
+	for _, op := range e.ops {
 		kind := trace.InvokeKind
 		if op.ret {
 			kind = trace.ReturnKind
@@ -342,20 +504,20 @@ func (r *runner) step(p dist.ProcID, t dist.Time, msg *Message) {
 
 	if emu, ok := r.automata[p-1].(Emulator); ok {
 		out := emu.Output()
-		if !r.hasEmu[p-1] || !reflect.DeepEqual(out, r.lastEmu[p-1]) {
+		if !r.hasEmu[p-1] || !valuesEqual(out, r.lastEmu[p-1]) {
 			r.lastEmu[p-1], r.hasEmu[p-1] = out, true
 			r.record(trace.Event{T: t, P: p, Kind: trace.EmuKind, Payload: out})
 		}
 	}
 }
 
-func (r *runner) record(e trace.Event) {
+func (r *Runner) record(e trace.Event) {
 	if r.tr != nil {
 		r.tr.Append(e)
 	}
 }
 
-func (r *runner) emitCrashes(t dist.Time) {
+func (r *Runner) emitCrashes(t dist.Time) {
 	for r.crashPos < len(r.crashEvents) && r.crashEvents[r.crashPos].t <= t {
 		ce := r.crashEvents[r.crashPos]
 		r.record(trace.Event{T: ce.t, P: ce.p, Kind: trace.CrashKind})
@@ -363,17 +525,22 @@ func (r *runner) emitCrashes(t dist.Time) {
 	}
 }
 
-func (r *runner) deliverable(m *Message, t dist.Time) bool {
+func (r *Runner) deliverable(m *Message, t dist.Time) bool {
 	if r.cfg.DeliveryFilter == nil {
 		return true
 	}
 	return r.cfg.DeliveryFilter(m, t)
 }
 
-func (r *runner) pendingCount(p dist.ProcID, t dist.Time) int {
+func (r *Runner) pendingCount(p dist.ProcID, t dist.Time) int {
+	q := &r.inboxes[p]
+	if r.cfg.DeliveryFilter == nil {
+		return q.live
+	}
 	cnt := 0
-	for _, m := range r.queues[p] {
-		if r.deliverable(m, t) {
+	for i := q.head; i < len(q.buf); i++ {
+		e := &q.buf[i]
+		if !e.gone && r.deliverable(&e.msg, t) {
 			cnt++
 		}
 	}
@@ -381,31 +548,30 @@ func (r *runner) pendingCount(p dist.ProcID, t dist.Time) int {
 }
 
 // pickMessage selects and removes the message delivered to p at time t per
-// the scheduler's choice, or returns nil for a null step.
-func (r *runner) pickMessage(p dist.ProcID, t dist.Time, c Choice) *Message {
+// the scheduler's choice, or returns nil for a null step. The returned
+// pointer refers to the runner's delivery scratch slot and is valid for one
+// step.
+func (r *Runner) pickMessage(p dist.ProcID, t dist.Time, c Choice) *Message {
 	if c.Mode == DeliverNone {
 		return nil
 	}
-	q := r.queues[p]
-	for i, m := range q {
-		if !r.deliverable(m, t) {
+	q := &r.inboxes[p]
+	for i := q.head; i < len(q.buf); i++ {
+		e := &q.buf[i]
+		if e.gone || !r.deliverable(&e.msg, t) {
 			continue
 		}
-		if c.Mode == DeliverMatch && (c.Match == nil || !c.Match(m)) {
+		if c.Mode == DeliverMatch && (c.Match == nil || !c.Match(&e.msg)) {
 			continue
 		}
-		r.queues[p] = append(q[:i:i], q[i+1:]...)
-		return m
+		// Copy out before the slot is reused: the automaton's own sends may
+		// append to (and grow or rewind) this inbox during the step.
+		r.delivered = q.take(i)
+		return &r.delivered
 	}
 	return nil
 }
 
-func (r *runner) allCorrectDecided() bool {
-	correct := r.cfg.Pattern.Correct()
-	for _, p := range correct.Members() {
-		if _, ok := r.decisions[p]; !ok {
-			return false
-		}
-	}
-	return true
+func (r *Runner) allCorrectDecided() bool {
+	return r.correct.SubsetOf(r.decidedSet)
 }

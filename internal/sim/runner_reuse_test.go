@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// TestRunnerResetMatchesOneShotRuns is the contract of the sweep API: a
+// reused runner with Reset(seed) must reproduce exactly the runs that
+// separate one-shot Run calls with fresh schedulers produce.
+func TestRunnerResetMatchesOneShotRuns(t *testing.T) {
+	f := dist.NewFailurePattern(4)
+	f.CrashAt(3, 30)
+	mkCfg := func(seed int64) Config {
+		return Config{
+			Pattern: f, History: nilHistory(), Program: echoProgram,
+			Scheduler: NewRandomScheduler(seed), StopWhenDecided: true,
+		}
+	}
+	r, err := NewRunner(mkCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		reused, err := r.Reset(seed).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneShot, err := Run(mkCfg(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reused.Steps != oneShot.Steps || reused.Ticks != oneShot.Ticks ||
+			reused.MessagesSent != oneShot.MessagesSent || reused.Reason != oneShot.Reason {
+			t.Fatalf("seed %d: reused run (steps=%d ticks=%d msgs=%d %s) diverges from one-shot (steps=%d ticks=%d msgs=%d %s)",
+				seed, reused.Steps, reused.Ticks, reused.MessagesSent, reused.Reason,
+				oneShot.Steps, oneShot.Ticks, oneShot.MessagesSent, oneShot.Reason)
+		}
+		for p, v := range oneShot.Decisions {
+			if rv, ok := reused.Decisions[p]; !ok || rv != v {
+				t.Fatalf("seed %d: p%d decided %v reused vs %v one-shot", seed, int(p), rv, v)
+			}
+		}
+	}
+}
+
+func TestRunnerRunTwiceWithoutResetFails(t *testing.T) {
+	r, err := NewRunner(Config{
+		Pattern: dist.NewFailurePattern(2), History: nilHistory(), Program: echoProgram,
+		Scheduler: &RoundRobinScheduler{}, MaxSteps: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err == nil {
+		t.Fatal("second Run without Reset must fail")
+	}
+	if _, err := r.Reset(0).Run(); err != nil {
+		t.Fatalf("Run after Reset: %v", err)
+	}
+}
+
+// TestStepsCountsExecutedSteps pins the honest accounting: Steps counts
+// automaton steps, Ticks counts elapsed time including idle ticks.
+func TestStepsCountsExecutedSteps(t *testing.T) {
+	f := dist.NewFailurePattern(2)
+	script := append(Idle(10), Steps(DeliverAuto, 3, 1, 2)...)
+	res, err := Run(Config{
+		Pattern: f, History: nilHistory(), Program: echoProgram,
+		Scheduler: &ScriptedScheduler{Script: script}, MaxSteps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 6 {
+		t.Fatalf("Steps = %d, want 6 executed steps", res.Steps)
+	}
+	if res.Ticks != 16 {
+		t.Fatalf("Ticks = %d, want 16 (10 idle + 6 steps)", res.Ticks)
+	}
+}
+
+// TestValuesEqualUncomparableInsideComparable pins the DeepEqual fallback: a
+// comparable static type can hold uncomparable values in interface fields,
+// which == rejects at runtime.
+func TestValuesEqualUncomparableInsideComparable(t *testing.T) {
+	type boxed struct{ V any }
+	a, b := boxed{V: []int{1, 2}}, boxed{V: []int{1, 2}}
+	if !valuesEqual(a, b) {
+		t.Fatal("equal slices inside interface fields must compare equal")
+	}
+	if valuesEqual(a, boxed{V: []int{1, 3}}) {
+		t.Fatal("distinct slices inside interface fields must compare unequal")
+	}
+	if !valuesEqual(boxed{V: 7}, boxed{V: 7}) || valuesEqual(boxed{V: 7}, boxed{V: 8}) {
+		t.Fatal("comparable fast path broken")
+	}
+	if !valuesEqual(nil, nil) || valuesEqual(nil, 1) || valuesEqual([]int{1}, 1) {
+		t.Fatal("nil/type-mismatch handling broken")
+	}
+	if !valuesEqual([]int{1}, []int{1}) {
+		t.Fatal("non-comparable DeepEqual path broken")
+	}
+	// Top-level pointers keep DeepEqual's pointee semantics, not identity.
+	x, y := 5, 5
+	if !valuesEqual(&x, &y) {
+		t.Fatal("distinct pointers to equal values must compare equal")
+	}
+	y = 6
+	if valuesEqual(&x, &y) {
+		t.Fatal("pointers to distinct values must compare unequal")
+	}
+}
+
+// TestInboxBlockedHeadStaysBounded pins the compaction bound: with the
+// oldest message pinned undeliverable while later traffic flows, tombstones
+// behind the blocked head must be reclaimed, keeping the buffer O(backlog)
+// instead of O(messages ever received).
+func TestInboxBlockedHeadStaysBounded(t *testing.T) {
+	prog := func(p dist.ProcID, n int) Automaton {
+		return &sendScript{payloads: func() []any {
+			ps := []any{"pinned"}
+			for i := 0; i < 400; i++ {
+				ps = append(ps, i)
+			}
+			return ps
+		}()}
+	}
+	var script []Choice
+	for i := 0; i < 401; i++ { // p1 sends one message per step
+		script = append(script, Choice{Proc: 1, Mode: DeliverNone})
+		script = append(script, Choice{Proc: 2, Mode: DeliverAuto})
+	}
+	r, err := NewRunner(Config{
+		Pattern: dist.NewFailurePattern(2), History: nilHistory(), Program: prog,
+		Scheduler: &ScriptedScheduler{Script: script}, MaxSteps: 5000, DisableTrace: true,
+		DeliveryFilter: func(m *Message, now dist.Time) bool { return m.Payload != "pinned" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	q := &r.inboxes[2]
+	if q.live != 1 {
+		t.Fatalf("inbox live = %d, want just the pinned message", q.live)
+	}
+	if len(q.buf) > 80 {
+		t.Fatalf("inbox buffer holds %d entries for a backlog of 1 — tombstones are not being reclaimed", len(q.buf))
+	}
+}
+
+// matchPayload builds a DeliverMatch choice for one payload value.
+func matchPayload(p dist.ProcID, want any) Choice {
+	return Choice{Proc: p, Mode: DeliverMatch, Match: func(m *Message) bool { return m.Payload == want }}
+}
+
+// sendScript is an automaton for inbox-order tests: p1 sends the scripted
+// payloads to p2 one per step; p2 records what it receives.
+type sendScript struct {
+	payloads []any
+	pos      int
+	got      []any
+}
+
+func (a *sendScript) Step(e *Env) {
+	if v, _, ok := e.Delivered(); ok {
+		a.got = append(a.got, v)
+	}
+	if e.Self() == 1 && a.pos < len(a.payloads) {
+		e.Send(2, a.payloads[a.pos])
+		a.pos++
+	}
+}
+
+// TestInboxMiddleRemovalKeepsOrder drives DeliverMatch deliveries out of
+// FIFO order and checks that the remaining queue still delivers oldest-first
+// — the tombstone path of the ring inbox.
+func TestInboxMiddleRemovalKeepsOrder(t *testing.T) {
+	autos := map[dist.ProcID]*sendScript{}
+	prog := func(p dist.ProcID, n int) Automaton {
+		a := &sendScript{payloads: []any{"a", "b", "c", "d"}}
+		autos[p] = a
+		return a
+	}
+	script := []Choice{
+		{Proc: 1, Mode: DeliverNone}, {Proc: 1, Mode: DeliverNone},
+		{Proc: 1, Mode: DeliverNone}, {Proc: 1, Mode: DeliverNone},
+		matchPayload(2, "c"), // middle removal
+		matchPayload(2, "a"), // head removal skipping the tombstone's side
+		{Proc: 2, Mode: DeliverAuto},
+		{Proc: 2, Mode: DeliverAuto},
+	}
+	_, err := Run(Config{
+		Pattern: dist.NewFailurePattern(2), History: nilHistory(), Program: prog,
+		Scheduler: &ScriptedScheduler{Script: script}, MaxSteps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := autos[2].got
+	want := []any{"c", "a", "b", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("p2 received %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("p2 received %v, want %v", got, want)
+		}
+	}
+}
+
+// steadyState is a minimal automaton for the zero-alloc assertion: it
+// queries the FD and bounces one message around without allocating itself.
+type steadyState struct{ self dist.ProcID }
+
+func (a *steadyState) Step(e *Env) {
+	e.QueryFD()
+	if _, from, ok := e.Delivered(); ok {
+		e.Send(from, "ping")
+	} else if a.self == 1 {
+		e.Send(2, "ping")
+	}
+}
+
+// TestRunnerSteadyStateStepIsAllocationFree pins the tentpole property: once
+// a reused runner is warm, the per-step path (scheduling, delivery, FD
+// query, send) performs zero heap allocations. Run construction (fresh
+// automata, the result) is excluded by measuring long runs and amortizing:
+// the per-step budget must stay under 0.02 allocs.
+func TestRunnerSteadyStateStepIsAllocationFree(t *testing.T) {
+	f := dist.NewFailurePattern(4)
+	r, err := NewRunner(Config{
+		Pattern: f,
+		History: nilHistory(),
+		Program: func(p dist.ProcID, n int) Automaton { return &steadyState{self: p} },
+		Scheduler: NewRandomScheduler(0), MaxSteps: 5000, DisableTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Reset(1).Run(); err != nil { // warm buffers
+		t.Fatal(err)
+	}
+	seed := int64(2)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.Reset(seed).Run(); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+	})
+	perStep := allocs / 5000
+	if perStep > 0.02 {
+		t.Fatalf("steady-state run allocates %.1f times (%.4f/step), want ≈0/step", allocs, perStep)
+	}
+}

@@ -65,24 +65,38 @@ type RandomScheduler struct {
 	// alive process. Default 4n.
 	MaxSkip int
 
-	lastStep map[dist.ProcID]int64
+	lastStep [dist.MaxProcs + 1]int64
 	tick     int64
+	scratch  []dist.ProcID
 }
 
 var _ Scheduler = (*RandomScheduler)(nil)
+var _ Reseeder = (*RandomScheduler)(nil)
 
 // NewRandomScheduler returns a fair random scheduler with the given seed.
 func NewRandomScheduler(seed int64) *RandomScheduler {
 	return &RandomScheduler{
 		rng:      rand.New(rand.NewSource(seed)),
 		NullProb: 0.25,
-		lastStep: make(map[dist.ProcID]int64),
 	}
+}
+
+// Reseed rewinds the scheduler to the state NewRandomScheduler(seed) would
+// produce, so one scheduler serves a whole seed sweep without reallocation.
+func (s *RandomScheduler) Reseed(seed int64) {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(seed))
+	} else {
+		s.rng.Seed(seed)
+	}
+	s.tick = 0
+	s.lastStep = [dist.MaxProcs + 1]int64{}
 }
 
 // Next implements Scheduler.
 func (s *RandomScheduler) Next(v *View) (Choice, bool) {
-	alive := v.Alive.Members()
+	alive := v.Alive.AppendMembers(s.scratch[:0])
+	s.scratch = alive
 	if len(alive) == 0 {
 		return Choice{}, false
 	}
@@ -123,6 +137,11 @@ type RoundRobinScheduler struct {
 }
 
 var _ Scheduler = (*RoundRobinScheduler)(nil)
+var _ Reseeder = (*RoundRobinScheduler)(nil)
+
+// Reseed rewinds the cycle to p1 (the seed itself is irrelevant to a
+// deterministic scheduler), so one scheduler serves repeated runs.
+func (s *RoundRobinScheduler) Reseed(int64) { s.next = 0 }
 
 // Next implements Scheduler.
 func (s *RoundRobinScheduler) Next(v *View) (Choice, bool) {
@@ -153,6 +172,16 @@ type ScriptedScheduler struct {
 }
 
 var _ Scheduler = (*ScriptedScheduler)(nil)
+var _ Reseeder = (*ScriptedScheduler)(nil)
+
+// Reseed rewinds the script to its start and forwards the seed to the
+// continuation scheduler when it is reseedable.
+func (s *ScriptedScheduler) Reseed(seed int64) {
+	s.pos = 0
+	if rs, ok := s.Then.(Reseeder); ok {
+		rs.Reseed(seed)
+	}
+}
 
 // Next implements Scheduler. A Choice with Proc == dist.None is an idle
 // tick: time advances with no step, which the proof constructions use to

@@ -206,11 +206,11 @@ func TestReplayScriptReproducesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	upTo := dist.Time(orig.Steps - 1)
+	upTo := dist.Time(orig.Ticks - 1)
 	replay, err := Run(Config{
 		Pattern: f, History: nilHistory(), Program: echoProgram,
 		Scheduler: &ScriptedScheduler{Script: ReplayScript(orig.Trace, upTo)},
-		MaxSteps:  orig.Steps,
+		MaxSteps:  orig.Ticks,
 	})
 	if err != nil {
 		t.Fatal(err)

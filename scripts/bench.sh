@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Run the experiment benchmarks with benchstat-comparable output.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite, 10 runs each (benchstat-ready)
+#   scripts/bench.sh Fig2            # only benchmarks matching the pattern
+#   COUNT=3 scripts/bench.sh         # fewer repetitions
+#
+# Typical trajectory tracking:
+#   scripts/bench.sh > bench_old.txt
+#   ... change code ...
+#   scripts/bench.sh > bench_new.txt
+#   benchstat bench_old.txt bench_new.txt
+set -eu
+
+PATTERN="${1:-.}"
+COUNT="${COUNT:-10}"
+
+cd "$(dirname "$0")/.."
+exec go test -run=NONE -bench="$PATTERN" -benchmem -count="$COUNT" .
