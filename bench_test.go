@@ -13,6 +13,9 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"repro/internal/agreement"
@@ -25,6 +28,7 @@ import (
 	"repro/internal/register"
 	"repro/internal/separation"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func reportRun(b *testing.B, steps, msgs int64) {
@@ -451,11 +455,7 @@ func BenchmarkAblationSchedulers(b *testing.B) {
 }
 
 func benchName(prefix string, v int) string {
-	const digits = "0123456789"
-	if v < 10 {
-		return prefix + "=" + digits[v:v+1]
-	}
-	return prefix + "=" + digits[v/10:v/10+1] + digits[v%10:v%10+1]
+	return prefix + "=" + strconv.Itoa(v)
 }
 
 // BenchmarkHierarchy regenerates experiment E14: the full failure-detector
@@ -466,5 +466,110 @@ func BenchmarkHierarchy(b *testing.B) {
 		if _, err := hierarchy.Build(hierarchy.Config{N: 6, K: 2, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// workerCounts returns the distinct pool sizes worth benchmarking on this
+// machine: single-threaded and all cores.
+func workerCounts() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkExplorer regenerates experiment E15: bounded model-checking
+// throughput of the binary-keyed parallel explorer on the Figure 2 safety
+// check (states/sec is the headline metric; results are bit-identical
+// across worker counts, asserted by TestFig2ExploreWorkerDeterminism).
+func BenchmarkExplorer(b *testing.B) {
+	const n = 3
+	props := agreement.DistinctProposals(n)
+	f := dist.NewFailurePattern(n)
+	oracle, err := core.NewSigmaOracle(f, dist.NewProcSet(1, 2), 1, core.SigmaCanonical)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			var states, steps int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Explore(sim.ExploreConfig{
+					Pattern:  f,
+					History:  oracle,
+					Program:  core.Fig2Program(props),
+					MaxDepth: 14,
+					TimeCap:  1,
+					Workers:  w,
+					Check:    agreement.SafetyCheck(n-1, props),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Violation != "" {
+					b.Fatal(res.Violation)
+				}
+				states += res.StatesVisited
+				steps += res.StepsExecuted
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/sec")
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// BenchmarkSweep regenerates experiment E16: concurrent seed-sweep
+// throughput (Figure 2, 64 seeds per op) across pool sizes. Aggregates are
+// bit-identical across worker counts (TestSweepWorkerDeterminism).
+func BenchmarkSweep(b *testing.B) {
+	const n, seeds = 6, 64
+	f := dist.NewFailurePattern(n)
+	props := agreement.DistinctProposals(n)
+	oracle, err := core.NewSigmaOracle(f, dist.NewProcSet(1, 2), 20, core.SigmaCanonical)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkSim := func() sim.Config {
+		return sim.Config{
+			Pattern: f, History: oracle, Program: core.Fig2Program(props),
+			StopWhenDecided: true, DisableTrace: true,
+		}
+	}
+	for _, w := range workerCounts() {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			var runs, steps, msgs int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sweep.Run(sweep.Config{
+					Sim:       mkSim,
+					SeedStart: int64(i) * seeds,
+					Seeds:     seeds,
+					Workers:   w,
+					Check: func(seed int64, r *sim.Result) error {
+						if rep := agreement.Check(f, n-1, props, r); !rep.OK() {
+							return fmt.Errorf("seed %d: %s", seed, rep)
+						}
+						return nil
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failures > 0 {
+					b.Fatal(res.FirstFailErr)
+				}
+				runs += res.Runs
+				steps += res.Steps.Sum
+				msgs += res.Msgs.Sum
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/sec")
+			reportRun(b, steps, msgs)
+		})
 	}
 }

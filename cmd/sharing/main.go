@@ -18,6 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/agreement"
 	"repro/internal/consensus"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/register"
 	"repro/internal/separation"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -62,6 +66,10 @@ func run(args []string) error {
 		return cmdMajoritySigma(args[1:])
 	case "hierarchy":
 		return cmdHierarchy(args[1:])
+	case "explore":
+		return cmdExplore(args[1:])
+	case "sweep":
+		return cmdSweep(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -75,7 +83,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: sharing <subcommand> [flags]
 
 subcommands:
-  lattice         -n 6 -runs 5 -seed 1
+  lattice         -n 6 -runs 5 -seed 1 -workers 0
   setagreement    -n 5 -seed 1 -crash "3,4"
   kset            -n 6 -k 2 -seed 1 -crash "5"
   register        -n 5 -seed 1
@@ -83,7 +91,12 @@ subcommands:
   counterexample  lemma7|lemma11|lemma15|tightness  [-n 5 -k 2 -seed 1]
   emulate         fig3|fig5|fig6  [-n 5 -seed 1]
   majority-sigma  -n 5 -seed 1
-  hierarchy       -n 6 -k 2 -seed 1`)
+  hierarchy       -n 6 -k 2 -seed 1 -runs 3 -workers 0
+  explore         -fig fig2|fig4 -n 3 -k 1 -depth 12 -states 1048576 -workers 0 -crash "3"
+  sweep           -fig fig2|fig4|consensus -n 5 -k 2 -seeds 200 -workers 0 -scenarios ";5;5@40"
+
+crash lists are comma-separated processes with optional crash times:
+"3,4" crashes p3 and p4 at time 0, "3@40,4" crashes p3 at time 40.`)
 }
 
 func cmdHierarchy(args []string) error {
@@ -91,14 +104,187 @@ func cmdHierarchy(args []string) error {
 	n := fs.Int("n", 6, "system size")
 	k := fs.Int("k", 2, "k (σ₂ₖ side)")
 	seed := fs.Int64("seed", 1, "seed")
+	runs := fs.Int64("runs", 3, "seeds per reduction edge")
+	workers := fs.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rep, err := hierarchy.Build(hierarchy.Config{N: *n, K: *k, Seed: *seed})
+	rep, err := hierarchy.Build(hierarchy.Config{N: *n, K: *k, Seed: *seed, Runs: *runs, Workers: *workers})
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep.Render())
+	return nil
+}
+
+// cmdExplore bounded-model-checks a figure: every interleaving and message
+// reordering up to -depth is enumerated on a -workers pool and checked
+// against the task's safety properties.
+func cmdExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	fig := fs.String("fig", "fig2", "algorithm to model-check: fig2|fig4")
+	n := fs.Int("n", 3, "system size")
+	k := fs.Int("k", 1, "k (fig4: active set has 2k processes)")
+	depth := fs.Int("depth", 12, "schedule-length bound")
+	states := fs.Int("states", 1<<20, "visited-state soft cap")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	crash := fs.String("crash", "", "crash list; exploration runs under TimeCap 1, so only time-0 crashes are admissible")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := newPattern(*n)
+	if err != nil {
+		return err
+	}
+	if err := parseCrash(f, *crash); err != nil {
+		return err
+	}
+	props := agreement.DistinctProposals(*n)
+	cfg := sim.ExploreConfig{
+		Pattern:   f,
+		MaxDepth:  *depth,
+		MaxStates: *states,
+		TimeCap:   1,
+		Workers:   *workers,
+	}
+	var taskK int
+	switch *fig {
+	case "fig2":
+		oracle, err := core.NewSigmaOracle(f, dist.NewProcSet(1, 2), 1, core.SigmaCanonical)
+		if err != nil {
+			return err
+		}
+		cfg.History, cfg.Program = oracle, core.Fig2Program(props)
+		taskK = *n - 1
+	case "fig4":
+		if 2**k > *n {
+			return fmt.Errorf("need 2k ≤ n")
+		}
+		oracle, err := core.NewSigmaKOracle(f, dist.RangeSet(1, dist.ProcID(2**k)), 1, core.SigmaKCanonical)
+		if err != nil {
+			return err
+		}
+		cfg.History, cfg.Program = oracle, core.Fig4Program(props)
+		taskK = *n - *k
+	default:
+		return fmt.Errorf("explore: unknown -fig %q (want fig2|fig4)", *fig)
+	}
+	cfg.Check = agreement.SafetyCheck(taskK, props)
+	start := time.Now()
+	res, err := sim.Explore(cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%s on %v: %d states, %d steps in %v (%.0f states/sec), truncated=%v\n",
+		*fig, f, res.StatesVisited, res.StepsExecuted, elapsed.Round(time.Millisecond),
+		float64(res.StatesVisited)/elapsed.Seconds(), res.Truncated)
+	if res.Violation != "" {
+		return fmt.Errorf("%s violates %d-set agreement at depth %d: %s", *fig, taskK, res.ViolationDepth, res.Violation)
+	}
+	fmt.Printf("no reachable violation of %d-set agreement safety within depth %d\n", taskK, *depth)
+	return nil
+}
+
+// cmdSweep runs -seeds seeded runs per crash scenario on the concurrent
+// sweep engine and prints aggregate statistics per scenario.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fig := fs.String("fig", "fig2", "workload: fig2|fig4|consensus")
+	n := fs.Int("n", 5, "system size")
+	k := fs.Int("k", 2, "k (fig4: active set has 2k processes)")
+	seeds := fs.Int64("seeds", 200, "seeds per scenario")
+	seedStart := fs.Int64("seed", 0, "first seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	scenarios := fs.String("scenarios", "", `semicolon-separated crash scenarios (empty entry = failure-free); default ";N;N@40" (failure-free, pN initially dead, pN crashing mid-run)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs := []string{"", fmt.Sprintf("%d", *n), fmt.Sprintf("%d@40", *n)}
+	if *scenarios != "" {
+		specs = strings.Split(*scenarios, ";")
+	}
+	props := agreement.DistinctProposals(*n)
+	for _, spec := range specs {
+		f, err := newPattern(*n)
+		if err != nil {
+			return err
+		}
+		if err := parseCrash(f, spec); err != nil {
+			return err
+		}
+		var mkSim func() sim.Config
+		var taskK int
+		switch *fig {
+		case "fig2":
+			oracle, err := core.NewSigmaOracle(f, dist.NewProcSet(1, 2), 20, core.SigmaCanonical)
+			if err != nil {
+				return err
+			}
+			mkSim = func() sim.Config {
+				return sim.Config{
+					Pattern: f, History: oracle, Program: core.Fig2Program(props),
+					StopWhenDecided: true, DisableTrace: true,
+				}
+			}
+			taskK = *n - 1
+		case "fig4":
+			if 2**k > *n {
+				return fmt.Errorf("need 2k ≤ n")
+			}
+			oracle, err := core.NewSigmaKOracle(f, dist.RangeSet(1, dist.ProcID(2**k)), 20, core.SigmaKCanonical)
+			if err != nil {
+				return err
+			}
+			mkSim = func() sim.Config {
+				return sim.Config{
+					Pattern: f, History: oracle, Program: core.Fig4Program(props),
+					StopWhenDecided: true, DisableTrace: true,
+				}
+			}
+			taskK = *n - *k
+		case "consensus":
+			mkSim = func() sim.Config {
+				// The Ω+Σ oracle caches its last boxed output, so every
+				// worker builds its own.
+				return sim.Config{
+					Pattern: f, History: consensus.NewOracle(f, 25), Program: consensus.Program(props),
+					MaxSteps: 200_000, StopWhenDecided: true, DisableTrace: true,
+				}
+			}
+			taskK = 1
+		default:
+			return fmt.Errorf("sweep: unknown -fig %q (want fig2|fig4|consensus)", *fig)
+		}
+		start := time.Now()
+		res, err := sweep.Run(sweep.Config{
+			Sim:       mkSim,
+			SeedStart: *seedStart,
+			Seeds:     *seeds,
+			Workers:   *workers,
+			Check: func(seed int64, r *sim.Result) error {
+				if rep := agreement.Check(f, taskK, props, r); !rep.OK() {
+					return fmt.Errorf("%s", rep)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		scenName := spec
+		if scenName == "" {
+			scenName = "failure-free"
+		}
+		fmt.Printf("%s %v [%s]: %s\n  %d runs in %v (%.0f runs/sec)\n",
+			*fig, f, scenName, res, res.Runs, elapsed.Round(time.Millisecond),
+			float64(res.Runs)/elapsed.Seconds())
+		if res.Failures > 0 {
+			return fmt.Errorf("sweep: %s scenario %q: %d of %d runs violated %d-set agreement (first seed %d: %v)",
+				*fig, scenName, res.Failures, res.Runs, taskK, res.FirstFailSeed, res.FirstFailErr)
+		}
+	}
 	return nil
 }
 
@@ -111,26 +297,31 @@ func newPattern(n int) (*dist.FailurePattern, error) {
 	return dist.NewFailurePattern(n), nil
 }
 
+// parseCrash applies a crash list to the pattern. Entries are comma-
+// separated; each is a process number with an optional crash time:
+// "3,4" crashes p3 and p4 at time 0, "3@40,4" crashes p3 at time 40 and p4
+// at time 0.
 func parseCrash(f *dist.FailurePattern, spec string) error {
 	if spec == "" {
 		return nil
 	}
-	var p int
-	for len(spec) > 0 {
-		n, err := fmt.Sscanf(spec, "%d", &p)
-		if n != 1 || err != nil {
-			return fmt.Errorf("bad -crash list %q", spec)
+	for _, entry := range strings.Split(spec, ",") {
+		procPart, timePart, timed := strings.Cut(strings.TrimSpace(entry), "@")
+		p, err := strconv.Atoi(procPart)
+		if err != nil {
+			return fmt.Errorf("bad -crash list %q: entry %q: process must be a number", spec, entry)
 		}
 		if p < 1 || p > f.N() {
 			return fmt.Errorf("-crash process p%d outside 1..%d", p, f.N())
 		}
-		f.CrashAt(dist.ProcID(p), 0)
-		for len(spec) > 0 && spec[0] != ',' {
-			spec = spec[1:]
+		t := int64(0)
+		if timed {
+			t, err = strconv.ParseInt(timePart, 10, 64)
+			if err != nil || t < 0 {
+				return fmt.Errorf("bad -crash list %q: entry %q: time must be a non-negative number", spec, entry)
+			}
 		}
-		if len(spec) > 0 {
-			spec = spec[1:]
-		}
+		f.CrashAt(dist.ProcID(p), dist.Time(t))
 	}
 	if !f.InEnvironment() {
 		return fmt.Errorf("-crash list kills every process")
@@ -143,10 +334,11 @@ func cmdLattice(args []string) error {
 	n := fs.Int("n", 6, "system size")
 	runs := fs.Int("runs", 5, "runs per positive relation")
 	seed := fs.Int64("seed", 1, "base seed")
+	workers := fs.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rep, err := lattice.Build(lattice.Config{N: *n, RunsPerRelation: *runs, Seed: *seed})
+	rep, err := lattice.Build(lattice.Config{N: *n, RunsPerRelation: *runs, Seed: *seed, Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/dist"
 )
 
 func TestSubcommandsSucceed(t *testing.T) {
@@ -23,6 +25,14 @@ func TestSubcommandsSucceed(t *testing.T) {
 		{"emulate", "fig6"},
 		{"majority-sigma", "-n", "5"},
 		{"hierarchy", "-n", "5", "-k", "2"},
+		{"hierarchy", "-n", "5", "-k", "2", "-runs", "2", "-workers", "2"},
+		{"setagreement", "-n", "5", "-crash", "3@10,4"},
+		{"explore", "-fig", "fig2", "-n", "3", "-depth", "10"},
+		{"explore", "-fig", "fig2", "-n", "3", "-depth", "10", "-crash", "3", "-workers", "4"},
+		{"explore", "-fig", "fig4", "-n", "4", "-k", "1", "-depth", "8", "-crash", "3,4"},
+		{"sweep", "-fig", "fig2", "-n", "4", "-seeds", "6", "-workers", "2"},
+		{"sweep", "-fig", "fig4", "-n", "4", "-k", "1", "-seeds", "4", "-scenarios", ";3@25"},
+		{"sweep", "-fig", "consensus", "-n", "4", "-seeds", "4", "-scenarios", "4@15"},
 		{"help"},
 	}
 	for _, args := range cases {
@@ -42,6 +52,12 @@ func TestSubcommandsFail(t *testing.T) {
 		{"emulate", "bogus"},
 		{"kset", "-n", "4", "-k", "3"},
 		{"setagreement", "-n", "3", "-crash", "1,2,3"},
+		{"explore", "-fig", "bogus"},
+		{"explore", "-fig", "fig4", "-n", "3", "-k", "2"},
+		{"explore", "-fig", "fig2", "-n", "3", "-crash", "3@10"}, // crash at 10 ≥ TimeCap 1
+		{"sweep", "-fig", "bogus", "-seeds", "2"},
+		{"sweep", "-fig", "fig2", "-n", "3", "-seeds", "0"},
+		{"sweep", "-fig", "fig2", "-n", "3", "-seeds", "2", "-scenarios", "1,2,3"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
@@ -57,5 +73,43 @@ func TestParseCrash(t *testing.T) {
 	if err := run([]string{"setagreement", "-n", "5", "-crash", "x"}); err == nil ||
 		!strings.Contains(err.Error(), "bad -crash") {
 		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestParseCrashSpec(t *testing.T) {
+	newF := func() *dist.FailurePattern { return dist.NewFailurePattern(5) }
+
+	f := newF()
+	if err := parseCrash(f, "3@40,4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.CrashTime(3); got != 40 {
+		t.Fatalf("p3 crash time %d, want 40", int64(got))
+	}
+	if got := f.CrashTime(4); got != 0 {
+		t.Fatalf("p4 crash time %d, want 0", int64(got))
+	}
+	if f.CrashTime(1) != dist.NoCrash || f.CrashTime(5) != dist.NoCrash {
+		t.Fatal("uncrashed processes must stay correct")
+	}
+
+	f = newF()
+	if err := parseCrash(f, " 2 , 5@7 "); err != nil {
+		t.Fatalf("spaces around entries must be accepted: %v", err)
+	}
+	if f.CrashTime(2) != 0 || f.CrashTime(5) != 7 {
+		t.Fatalf("got crash times %d, %d", int64(f.CrashTime(2)), int64(f.CrashTime(5)))
+	}
+
+	for _, bad := range []string{"x", "3@", "3@x", "3@-1", "@4", "0", "6", "3,,4", "3@1@2"} {
+		if err := parseCrash(newF(), bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+
+	// Timed crashes alone must not trip the kills-everyone guard: a process
+	// crashing at t > 0 is still faulty.
+	if err := parseCrash(newF(), "1,2,3,4,5@100"); err == nil {
+		t.Fatal("crashing every process (even late) must be rejected")
 	}
 }

@@ -25,6 +25,12 @@ type Value int64
 // NoValue is ⊥: smaller than every proposal, never a valid decision.
 const NoValue Value = math.MinInt64
 
+// AppendState implements sim.StateEncoder, putting Value on the explorer's
+// binary-keyed fast path (decisions enter every explored state's key).
+func (v Value) AppendState(b []byte) []byte {
+	return sim.AppendUint64(b, uint64(v))
+}
+
 // DistinctProposals assigns every process a unique proposal. Uniqueness
 // makes the Agreement count exact and makes Validity violations (a process
 // "guessing" a value it never saw) detectable.
@@ -56,6 +62,56 @@ func (r Report) String() string {
 		return fmt.Sprintf("ok: %d processes decided %d distinct value(s)", len(r.Decisions), r.Distinct)
 	}
 	return fmt.Sprintf("VIOLATED: %v", r.Violations)
+}
+
+// SafetyCheck builds the exhaustive-exploration predicate for sim.Explore:
+// Agreement (at most k distinct decided values) and Validity over a partial
+// decision map. Termination is a liveness property and has no meaning on
+// exploration prefixes, so it is not checked here.
+//
+// The predicate is deterministic (processes are visited in identity order,
+// never map order, so equal decision maps always yield the same witness
+// string — the explorer's reproducibility depends on this), safe for
+// concurrent use from explorer workers, and allocation-free on the
+// no-violation hot path.
+func SafetyCheck(k int, proposals []Value) func(map[dist.ProcID]any) string {
+	n := len(proposals)
+	valid := make(map[Value]bool, n)
+	for _, v := range proposals {
+		valid[v] = true
+	}
+	return func(dec map[dist.ProcID]any) string {
+		var seen [dist.MaxProcs]Value
+		distinct := 0
+		for p := dist.ProcID(1); int(p) <= n; p++ {
+			raw, ok := dec[p]
+			if !ok {
+				continue
+			}
+			v, isVal := raw.(Value)
+			if !isVal {
+				return fmt.Sprintf("p%d decided %v of type %T, want agreement.Value", int(p), raw, raw)
+			}
+			if !valid[v] {
+				return fmt.Sprintf("validity: p%d decided %d, which no process proposed", int(p), int64(v))
+			}
+			dup := false
+			for i := 0; i < distinct; i++ {
+				if seen[i] == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen[distinct] = v
+				distinct++
+			}
+		}
+		if distinct > k {
+			return fmt.Sprintf("agreement: %d distinct values decided, want ≤ %d", distinct, k)
+		}
+		return ""
+	}
 }
 
 // Check validates a finished run against k-set agreement with the given

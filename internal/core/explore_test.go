@@ -157,6 +157,42 @@ func TestExploreCatchesBrokenAlgorithm(t *testing.T) {
 	}
 }
 
+// TestFig2ExploreWorkerDeterminism pins the engine's reproducibility
+// guarantee on a real workload: the whole ExploreResult of the Figure 2
+// model check is bit-identical at every worker count.
+func TestFig2ExploreWorkerDeterminism(t *testing.T) {
+	const n = 3
+	props := agreement.DistinctProposals(n)
+	f := dist.CrashPattern(n, 3)
+	oracle, err := NewSigmaOracle(f, dist.NewProcSet(1, 2), 1, SigmaCanonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.ExploreConfig{
+		Pattern:  f,
+		History:  oracle,
+		Program:  Fig2Program(props),
+		MaxDepth: 12,
+		TimeCap:  1,
+		Workers:  1,
+		Check:    safetyCheck(n-1, props),
+	}
+	base, err := sim.Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 8} {
+		cfg.Workers = w
+		got, err := sim.Explore(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *base != *got {
+			t.Fatalf("workers=%d diverged:\n  1: %+v\n  %d: %+v", w, *base, w, *got)
+		}
+	}
+}
+
 func TestExploreRejectsNonSnapshotter(t *testing.T) {
 	f := dist.NewFailurePattern(2)
 	_, err := sim.Explore(sim.ExploreConfig{

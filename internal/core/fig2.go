@@ -161,3 +161,49 @@ func (a *Fig2) Snapshot() sim.Automaton {
 	cp := *a
 	return &cp
 }
+
+// Explorer state-encoding tags: each payload type that can share a message
+// queue gets a distinct leading byte (see sim.StateEncoder).
+const (
+	tagDecidedVal = 0x01
+	tagPhase1Val  = 0x02
+	tagPhase2Val  = 0x03
+	tagAnnVal     = 0x04
+)
+
+// AppendState implements sim.StateEncoder.
+func (m DecidedVal) AppendState(b []byte) []byte {
+	return sim.AppendUint64(append(b, tagDecidedVal), uint64(m.W))
+}
+
+// AppendState implements sim.StateEncoder.
+func (m Phase1Val) AppendState(b []byte) []byte {
+	return sim.AppendUint64(append(b, tagPhase1Val), uint64(m.W))
+}
+
+// AppendState implements sim.StateEncoder.
+func (m Phase2Val) AppendState(b []byte) []byte {
+	return sim.AppendUint64(append(b, tagPhase2Val), uint64(m.W))
+}
+
+// AppendState implements sim.StateEncoder: the full automaton state, putting
+// Figure 2 exploration on the binary-keyed fast path.
+func (a *Fig2) AppendState(b []byte) []byte {
+	var flags byte
+	if a.gotD {
+		flags |= 1
+	}
+	if a.got1 {
+		flags |= 2
+	}
+	if a.got2 {
+		flags |= 4
+	}
+	b = append(b, byte(a.self), byte(a.phase), flags)
+	b = sim.AppendUint64(b, uint64(a.v))
+	b = sim.AppendUint64(b, uint64(a.me))
+	b = sim.AppendUint64(b, uint64(a.you))
+	b = sim.AppendUint64(b, uint64(a.dVal))
+	b = sim.AppendUint64(b, uint64(a.v1))
+	return sim.AppendUint64(b, uint64(a.v2))
+}

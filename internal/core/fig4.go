@@ -212,3 +212,29 @@ func (a *Fig4) Snapshot() sim.Automaton {
 	cp.t = append([]agreement.Value(nil), a.t...)
 	return &cp
 }
+
+// AppendState implements sim.StateEncoder (see Fig2.AppendState).
+func (m AnnVal) AppendState(b []byte) []byte {
+	b = sim.AppendUint64(append(b, tagAnnVal), uint64(m.V))
+	return append(b, byte(m.I))
+}
+
+// AppendState implements sim.StateEncoder: the full automaton state, putting
+// Figure 4 exploration on the binary-keyed fast path.
+func (a *Fig4) AppendState(b []byte) []byte {
+	var flags byte
+	if a.gotD {
+		flags |= 1
+	}
+	b = append(b, byte(a.self), byte(a.phase), flags)
+	b = sim.AppendUint64(b, uint64(a.v))
+	b = sim.AppendUint64(b, uint64(a.dVal))
+	b = sim.AppendUint64(b, uint64(a.forwarded))
+	b = sim.AppendUint64(b, uint64(a.active))
+	b = sim.AppendUint64(b, uint64(a.low))
+	b = sim.AppendUint64(b, uint64(a.high))
+	for _, v := range a.t {
+		b = sim.AppendUint64(b, uint64(v))
+	}
+	return b
+}

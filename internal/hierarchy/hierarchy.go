@@ -21,6 +21,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/separation"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // EdgeKind distinguishes reductions from separations.
@@ -65,6 +66,11 @@ type Config struct {
 	Horizon int64
 	// Seed drives schedules.
 	Seed int64
+	// Runs is the number of seeds each reduction edge's emulation is
+	// validated across (default 3); Workers the sweep pool size
+	// (0 = GOMAXPROCS).
+	Runs    int64
+	Workers int
 }
 
 // Build derives and verifies every edge. Any failed verification returns an
@@ -79,20 +85,24 @@ func Build(cfg Config) (*Report, error) {
 	if cfg.Horizon <= 0 {
 		cfg.Horizon = 600
 	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 3
+	}
 	rep := &Report{N: cfg.N, K: cfg.K}
 	pair := dist.NewProcSet(1, 2)
 	x := dist.RangeSet(1, dist.ProcID(2*cfg.K))
 	f := dist.CrashPattern(cfg.N, dist.ProcID(cfg.N)) // one crashed process
 
 	// σ ⪯ Σ{p,q} (Figure 3 / Lemma 6).
-	resFig3, err := runEmu(f, fd.NewSigmaS(f, pair, 20), core.Fig3Program(pair), cfg)
+	err := sweepEmu(f, cfg, func() sim.History { return fd.NewSigmaS(f, pair, 20) }, core.Fig3Program(pair),
+		func(h fd.History) []fd.Violation {
+			return core.CheckSigma(f, pair, h, dist.Time(cfg.Horizon), dist.Time(cfg.Horizon*3/4))
+		})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("hierarchy: Fig 3 emulation invalid: %w", err)
 	}
-	if vs := core.CheckSigma(f, pair, resFig3, dist.Time(cfg.Horizon), dist.Time(cfg.Horizon*3/4)); len(vs) != 0 {
-		return nil, fmt.Errorf("hierarchy: Fig 3 emulation invalid: %v", vs)
-	}
-	rep.add("σ", "Σ{p1,p2}", Reduction, "Figure 3 emulation; emulated history passes the Definition 3 checker")
+	rep.add("σ", "Σ{p1,p2}", Reduction,
+		fmt.Sprintf("Figure 3 emulation; emulated histories pass the Definition 3 checker (%d seeds)", cfg.Runs))
 
 	// Σ{p,q} ⋠ σ (Lemma 7).
 	cert, err := separation.Lemma7(separation.Lemma7Config{
@@ -103,19 +113,21 @@ func Build(cfg Config) (*Report, error) {
 	}
 	rep.add("Σ{p1,p2}", "σ", Separation, cert.String())
 
-	// anti-Ω ⪯ σ (Figure 6 / Lemma 16).
+	// anti-Ω ⪯ σ (Figure 6 / Lemma 16). The σ oracle pre-boxes its outputs
+	// and is read-only after construction, so one instance serves the pool.
 	sigmaOracle, err := core.NewSigmaOracle(f, pair, 25, core.SigmaCanonical)
 	if err != nil {
 		return nil, err
 	}
-	resFig6, err := runEmu(f, sigmaOracle, core.Fig6Program(), cfg)
+	err = sweepEmu(f, cfg, func() sim.History { return sigmaOracle }, core.Fig6Program(),
+		func(h fd.History) []fd.Violation {
+			return fd.CheckAntiOmega(f, h, dist.Time(cfg.Horizon), dist.Time(cfg.Horizon*3/4))
+		})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("hierarchy: Fig 6 emulation invalid: %w", err)
 	}
-	if vs := fd.CheckAntiOmega(f, resFig6, dist.Time(cfg.Horizon), dist.Time(cfg.Horizon*3/4)); len(vs) != 0 {
-		return nil, fmt.Errorf("hierarchy: Fig 6 emulation invalid: %v", vs)
-	}
-	rep.add("anti-Ω", "σ", Reduction, "Figure 6 emulation; emulated history passes the anti-Ω checker")
+	rep.add("anti-Ω", "σ", Reduction,
+		fmt.Sprintf("Figure 6 emulation; emulated histories pass the anti-Ω checker (%d seeds)", cfg.Runs))
 
 	// σ ⋠ anti-Ω (Corollary 17, via Lemma 15: anti-Ω cannot even solve set
 	// agreement, which σ solves by Figure 2).
@@ -129,16 +141,17 @@ func Build(cfg Config) (*Report, error) {
 		fmt.Sprintf("Corollary 17: σ solves set agreement (E1) but anti-Ω does not — %s", cert15))
 
 	// σₖ side: σ₂ₖ ⪯ Σ_X₂ₖ (Figure 5 / Lemma 10).
-	resFig5, err := runEmu(f, fd.NewSigmaS(f, x, 20), core.Fig5Program(x), cfg)
+	err = sweepEmu(f, cfg, func() sim.History { return fd.NewSigmaS(f, x, 20) }, core.Fig5Program(x),
+		func(h fd.History) []fd.Violation {
+			return core.CheckSigmaK(f, x, h, dist.Time(cfg.Horizon), dist.Time(cfg.Horizon*3/4))
+		})
 	if err != nil {
-		return nil, err
-	}
-	if vs := core.CheckSigmaK(f, x, resFig5, dist.Time(cfg.Horizon), dist.Time(cfg.Horizon*3/4)); len(vs) != 0 {
-		return nil, fmt.Errorf("hierarchy: Fig 5 emulation invalid: %v", vs)
+		return nil, fmt.Errorf("hierarchy: Fig 5 emulation invalid: %w", err)
 	}
 	sk := fmt.Sprintf("σ%d", 2*cfg.K)
 	sx := fmt.Sprintf("Σ_X%d", 2*cfg.K)
-	rep.add(sk, sx, Reduction, "Figure 5 emulation; emulated history passes the Definition 9 checker")
+	rep.add(sk, sx, Reduction,
+		fmt.Sprintf("Figure 5 emulation; emulated histories pass the Definition 9 checker (%d seeds)", cfg.Runs))
 
 	// Σ_X₂ₖ ⋠ σ₂ₖ (Lemma 11).
 	cert11, err := separation.Lemma11(separation.Lemma11Config{
@@ -158,18 +171,38 @@ func (r *Report) add(from, to string, kind EdgeKind, evidence string) {
 	r.Edges = append(r.Edges, Edge{From: from, To: to, Kind: kind, Evidence: evidence})
 }
 
-func runEmu(f *dist.FailurePattern, h sim.History, prog sim.Program, cfg Config) (fd.History, error) {
-	res, err := sim.Run(sim.Config{
-		Pattern:   f,
-		History:   h,
-		Program:   prog,
-		Scheduler: sim.NewRandomScheduler(cfg.Seed),
-		MaxSteps:  cfg.Horizon,
+// sweepEmu validates one reduction edge across cfg.Runs seeds on the
+// concurrent sweep engine: each run's recorded trace is replayed as an
+// emulated history and checked against the target class definition. mkHist
+// is called once per worker (Σ_S oracles cache state and must not be
+// shared).
+func sweepEmu(f *dist.FailurePattern, cfg Config, mkHist func() sim.History, prog sim.Program, check func(fd.History) []fd.Violation) error {
+	res, err := sweep.Run(sweep.Config{
+		Sim: func() sim.Config {
+			return sim.Config{
+				Pattern:  f,
+				History:  mkHist(),
+				Program:  prog,
+				MaxSteps: cfg.Horizon,
+			}
+		},
+		SeedStart: cfg.Seed,
+		Seeds:     cfg.Runs,
+		Workers:   cfg.Workers,
+		Check: func(seed int64, r *sim.Result) error {
+			if vs := check(&fd.RecordedHistory{Trace: r.Trace}); len(vs) != 0 {
+				return fmt.Errorf("seed %d: %v", seed, vs)
+			}
+			return nil
+		},
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &fd.RecordedHistory{Trace: res.Trace}, nil
+	if res.Failures > 0 {
+		return res.FirstFailErr
+	}
+	return nil
 }
 
 // Render prints the hierarchy with the strict chains made explicit.

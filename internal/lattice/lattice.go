@@ -23,6 +23,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/separation"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Relation is one verified edge (or non-edge) of the lattice.
@@ -51,6 +52,9 @@ type Config struct {
 	RunsPerRelation int
 	// Seed is the base seed.
 	Seed int64
+	// Workers sets the seed-sweep pool size for the positive rows
+	// (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Build regenerates the lattice for cfg.N processes. It fails with an error
@@ -88,7 +92,7 @@ func buildK(cfg Config, k int) ([]Relation, error) {
 		crashHalf(n, x, true),
 		crashHalf(n, x, false),
 	}
-	runs := 0
+	runs := int64(0)
 	for _, f := range patterns {
 		if !f.InEnvironment() {
 			continue
@@ -97,22 +101,36 @@ func buildK(cfg Config, k int) ([]Relation, error) {
 		prog := func(p dist.ProcID, nn int) sim.Automaton {
 			return sim.NewStack(core.NewFig5(p, x), core.NewFig4(p, nn, props[p-1]))
 		}
-		for s := 0; s < cfg.RunsPerRelation; s++ {
-			res, err := sim.Run(sim.Config{
-				Pattern:         f,
-				History:         fd.NewSigmaS(f, x, 20),
-				Program:         prog,
-				Scheduler:       sim.NewRandomScheduler(cfg.Seed + int64(s)),
-				StopWhenDecided: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if r := agreement.Check(f, n-k, props, res); !r.OK() {
-				return nil, fmt.Errorf("positive row failed on %v: %s", f, r)
-			}
-			runs++
+		// One sweep per pattern: each worker owns a runner and a fresh
+		// Σ_X oracle (SigmaSOracle caches its last output and must not be
+		// shared across workers).
+		res, err := sweep.Run(sweep.Config{
+			Sim: func() sim.Config {
+				return sim.Config{
+					Pattern:         f,
+					History:         fd.NewSigmaS(f, x, 20),
+					Program:         prog,
+					StopWhenDecided: true,
+					DisableTrace:    true,
+				}
+			},
+			SeedStart: cfg.Seed,
+			Seeds:     int64(cfg.RunsPerRelation),
+			Workers:   cfg.Workers,
+			Check: func(seed int64, r *sim.Result) error {
+				if rep := agreement.Check(f, n-k, props, r); !rep.OK() {
+					return fmt.Errorf("seed %d: %s", seed, rep)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return nil, err
 		}
+		if res.Failures > 0 {
+			return nil, fmt.Errorf("positive row failed on %v: %v", f, res.FirstFailErr)
+		}
+		runs += res.Runs
 	}
 	rows = append(rows, Relation{
 		K:        k,

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// StateEncoder is implemented by automata and message payloads that can
+// append a canonical binary encoding of their state to a buffer. The
+// explorer keys its visited set on a 64-bit hash of these encodings, so the
+// contract is:
+//
+//   - equal states must produce equal encodings (the encoding is a pure
+//     function of the state);
+//   - distinct states must produce distinct encodings (no information may
+//     be dropped);
+//   - a type whose encoding could collide with a *different* type in the
+//     same position (message payloads share a queue; automata do not share
+//     a slot) must make the encoding self-identifying, e.g. by a leading
+//     tag byte.
+//
+// Types that do not implement StateEncoder still work: the explorer falls
+// back to rendering them with fmt ("%T%#v"), which is canonical but orders
+// of magnitude slower and allocation-heavy. Every Snapshotter automaton and
+// every message payload on an exploration hot path should implement it.
+type StateEncoder interface {
+	AppendState(b []byte) []byte
+}
+
+// AppendUint64 appends v in fixed-width little-endian form.
+func AppendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// AppendValue appends a canonical encoding of a dynamic value: the
+// StateEncoder fast path when implemented, otherwise a fmt rendering
+// prefixed with the dynamic type (slow; see StateEncoder).
+func AppendValue(b []byte, v any) []byte {
+	if enc, ok := v.(StateEncoder); ok {
+		return enc.AppendState(b)
+	}
+	return fmt.Appendf(b, "%T%#v", v, v)
+}
+
+// hash64 hashes b to a 64-bit key (wyhash-style chunked multiply-rotate
+// with a splitmix64 finalizer). It is deterministic across processes, which
+// keeps exploration results reproducible run-to-run, not only within one
+// process.
+func hash64(b []byte) uint64 {
+	h := uint64(0x9E3779B97F4A7C15) ^ (uint64(len(b)) * 0xFF51AFD7ED558CCD)
+	for len(b) >= 8 {
+		h ^= binary.LittleEndian.Uint64(b)
+		h *= 0xBF58476D1CE4E5B9
+		h = bits.RotateLeft64(h, 27)
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail uint64
+		for i, c := range b {
+			tail |= uint64(c) << (8 * uint(i))
+		}
+		h ^= tail
+		h *= 0x94D049BB133111EB
+		h = bits.RotateLeft64(h, 31)
+	}
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,273 @@
+// Package sweep is the concurrent multi-run engine of the reproduction: it
+// farms a contiguous seed range out to a pool of workers, each owning one
+// reusable sim.Runner (Reset(seed) rewinds without reallocating), and
+// aggregates per-run statistics. Every experiment that used to iterate
+// seeds serially on one goroutine — the lattice's runs-per-relation loop,
+// the hierarchy's emulation validation, the separation candidate searches —
+// runs on this engine.
+//
+// Aggregation is order-independent (sums, minima, histograms over per-seed
+// values computed in isolation), so a sweep's Result is bit-identical for
+// every worker count.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a sweep.
+type Config struct {
+	// Sim builds the simulation config for one worker. It is called once
+	// per worker, and every call must return an independently usable
+	// config: a nil Scheduler (each runner then owns a seeded scheduler)
+	// or a fresh one, and fresh instances of any stateful History or
+	// callback. Shared read-only components (patterns, pre-boxed oracles,
+	// Program functions) are fine.
+	Sim func() sim.Config
+	// SeedStart is the first seed; the sweep runs seeds
+	// [SeedStart, SeedStart+Seeds).
+	SeedStart int64
+	// Seeds is the number of runs. Required.
+	Seeds int64
+	// Workers sets the pool size; 0 means GOMAXPROCS (capped at Seeds).
+	Workers int
+	// Check, when non-nil, judges each finished run; a non-nil error marks
+	// the seed as failing. The result is valid only during the call. Check
+	// is called concurrently from every worker goroutine and must be safe
+	// for concurrent use (pure functions of their arguments are; closures
+	// mutating shared state are not).
+	Check func(seed int64, res *sim.Result) error
+}
+
+// Hist is a power-of-two histogram of a per-run counter.
+type Hist struct {
+	Count, Sum int64
+	Min, Max   int64
+	// Buckets[i] counts values v with i = bits.Len64(v): bucket 0 holds
+	// zeros, bucket i ≥ 1 holds 2^(i-1) ≤ v < 2^i. Values beyond the last
+	// bucket are clamped into it.
+	Buckets [24]int64
+}
+
+// Observe adds one value.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	i := bits.Len64(uint64(v))
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// String renders min/mean/max and the non-empty power-of-two buckets.
+func (h *Hist) String() string {
+	if h.Count == 0 {
+		return "empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "min=%d mean=%.1f max=%d |", h.Min, h.Mean(), h.Max)
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = int64(1) << (i - 1)
+		}
+		fmt.Fprintf(&b, " [%d,%d):%d", lo, int64(1)<<i, c)
+	}
+	return b.String()
+}
+
+// Result aggregates a sweep.
+type Result struct {
+	// Runs counts executed runs; Decided those in which every correct
+	// process decided. A failing run never counts as decided.
+	Runs    int64
+	Decided int64
+	// Failures counts runs failing Check (or erroring); FirstFailSeed is
+	// the smallest failing seed (-1 when none) and FirstFailErr its error.
+	Failures      int64
+	FirstFailSeed int64
+	FirstFailErr  error
+	// Steps and Msgs are histograms of executed automaton steps and sent
+	// messages per passing run (failing runs appear in Failures only, so
+	// Steps.Count == Runs − Failures).
+	Steps Hist
+	Msgs  Hist
+}
+
+// DecidedRate is the fraction of all runs in which every correct process
+// decided; runs failing Check count toward the denominator only.
+func (r *Result) DecidedRate() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Decided) / float64(r.Runs)
+}
+
+// String summarizes the sweep.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d runs, decided-rate %.3f", r.Runs, r.DecidedRate())
+	if r.Failures > 0 {
+		fmt.Fprintf(&b, ", %d FAILED (first seed %d: %v)", r.Failures, r.FirstFailSeed, r.FirstFailErr)
+	}
+	fmt.Fprintf(&b, "\n  steps: %s\n  msgs:  %s", r.Steps.String(), r.Msgs.String())
+	return b.String()
+}
+
+func (r *Result) observe(seed int64, res *sim.Result, correct dist.ProcSet, checkErr error) {
+	r.Runs++
+	if checkErr == nil {
+		allDecided := true
+		for set := correct; !set.IsEmpty(); {
+			p := set.Min()
+			set = set.Remove(p)
+			if _, ok := res.Decisions[p]; !ok {
+				allDecided = false
+				break
+			}
+		}
+		if allDecided {
+			r.Decided++
+		}
+		r.Steps.Observe(res.Steps)
+		r.Msgs.Observe(res.MessagesSent)
+		return
+	}
+	r.Failures++
+	if r.FirstFailSeed < 0 || seed < r.FirstFailSeed {
+		r.FirstFailSeed, r.FirstFailErr = seed, checkErr
+	}
+}
+
+func (r *Result) merge(o *Result) {
+	r.Runs += o.Runs
+	r.Decided += o.Decided
+	r.Failures += o.Failures
+	if o.FirstFailSeed >= 0 && (r.FirstFailSeed < 0 || o.FirstFailSeed < r.FirstFailSeed) {
+		r.FirstFailSeed, r.FirstFailErr = o.FirstFailSeed, o.FirstFailErr
+	}
+	r.Steps.Merge(&o.Steps)
+	r.Msgs.Merge(&o.Msgs)
+}
+
+// Run executes the sweep and returns the aggregate. The seed range is
+// partitioned into contiguous per-worker blocks; runners are constructed
+// serially (lazily initialized shared state such as a FailurePattern's
+// crash schedule is finalized before any concurrency starts) and only the
+// run loops execute in parallel.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Sim == nil {
+		return nil, errors.New("sweep: Config.Sim is required")
+	}
+	if cfg.Seeds <= 0 {
+		return nil, fmt.Errorf("sweep: Config.Seeds must be positive, got %d", cfg.Seeds)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if int64(workers) > cfg.Seeds {
+		workers = int(cfg.Seeds)
+	}
+
+	type job struct {
+		runner  *sim.Runner
+		correct dist.ProcSet
+		lo, hi  int64 // seed block [lo, hi)
+		res     Result
+	}
+	jobs := make([]*job, workers)
+	per, rem := cfg.Seeds/int64(workers), cfg.Seeds%int64(workers)
+	next := cfg.SeedStart
+	for w := range jobs {
+		count := per
+		if int64(w) < rem {
+			count++
+		}
+		simCfg := cfg.Sim()
+		if simCfg.Pattern != nil {
+			simCfg.Pattern.AliveAt(0) // finalize before going parallel
+		}
+		runner, err := sim.NewRunner(simCfg)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: worker %d: %w", w, err)
+		}
+		jobs[w] = &job{
+			runner:  runner,
+			correct: simCfg.Pattern.Correct(),
+			lo:      next,
+			hi:      next + count,
+		}
+		jobs[w].res.FirstFailSeed = -1
+		next += count
+	}
+
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j *job) {
+			defer wg.Done()
+			for seed := j.lo; seed < j.hi; seed++ {
+				res, err := j.runner.Reset(seed).Run()
+				if err == nil && cfg.Check != nil {
+					err = cfg.Check(seed, res)
+				}
+				j.res.observe(seed, res, j.correct, err)
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	total := &Result{FirstFailSeed: -1}
+	for _, j := range jobs {
+		total.merge(&j.res)
+	}
+	return total, nil
+}

@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+func fig2Config(n int) (func() sim.Config, []agreement.Value, *dist.FailurePattern) {
+	f := dist.NewFailurePattern(n)
+	props := agreement.DistinctProposals(n)
+	return func() sim.Config {
+		oracle, err := core.NewSigmaOracle(f, dist.NewProcSet(1, 2), 20, core.SigmaCanonical)
+		if err != nil {
+			panic(err)
+		}
+		return sim.Config{
+			Pattern: f, History: oracle, Program: core.Fig2Program(props),
+			StopWhenDecided: true, DisableTrace: true,
+		}
+	}, props, f
+}
+
+func TestSweepAggregates(t *testing.T) {
+	const n, seeds = 4, 25
+	mkSim, props, f := fig2Config(n)
+	res, err := Run(Config{
+		Sim:   mkSim,
+		Seeds: seeds,
+		Check: func(seed int64, r *sim.Result) error {
+			if rep := agreement.Check(f, n-1, props, r); !rep.OK() {
+				return fmt.Errorf("seed %d: %s", seed, rep)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != seeds {
+		t.Fatalf("Runs=%d, want %d", res.Runs, seeds)
+	}
+	if res.Failures != 0 || res.FirstFailSeed != -1 {
+		t.Fatalf("unexpected failures: %+v", res)
+	}
+	if res.DecidedRate() != 1.0 {
+		t.Fatalf("decided-rate %.3f, want 1.0 (Figure 2 with StopWhenDecided)", res.DecidedRate())
+	}
+	if res.Steps.Count != seeds || res.Steps.Min <= 0 || res.Msgs.Count != seeds {
+		t.Fatalf("histograms not filled: steps=%s msgs=%s", res.Steps.String(), res.Msgs.String())
+	}
+	var bucketed int64
+	for _, c := range res.Steps.Buckets {
+		bucketed += c
+	}
+	if bucketed != seeds {
+		t.Fatalf("steps histogram buckets sum to %d, want %d", bucketed, seeds)
+	}
+}
+
+// TestSweepWorkerDeterminism asserts the engine guarantee: the aggregate is
+// bit-identical for every worker count and partition.
+func TestSweepWorkerDeterminism(t *testing.T) {
+	const n, seeds = 4, 24
+	mkSim, _, _ := fig2Config(n)
+	check := func(seed int64, r *sim.Result) error {
+		// A seed-dependent verdict makes FirstFailSeed selection visible.
+		if seed%7 == 3 {
+			return fmt.Errorf("synthetic failure at seed %d", seed)
+		}
+		return nil
+	}
+	base, err := Run(Config{Sim: mkSim, SeedStart: 1, Seeds: seeds, Workers: 1, Check: check})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.FirstFailSeed != 3 || base.Failures != 4 {
+		t.Fatalf("expected synthetic failures at 3,10,17,24: %+v", base)
+	}
+	for _, w := range []int{2, 5, 8, 24} {
+		got, err := Run(Config{Sim: mkSim, SeedStart: 1, Seeds: seeds, Workers: w, Check: check})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Runs != base.Runs || got.Decided != base.Decided ||
+			got.Failures != base.Failures || got.FirstFailSeed != base.FirstFailSeed ||
+			got.Steps != base.Steps || got.Msgs != base.Msgs ||
+			fmt.Sprint(got.FirstFailErr) != fmt.Sprint(base.FirstFailErr) {
+			t.Fatalf("workers=%d diverged:\n  1: %+v\n  %d: %+v", w, base, w, got)
+		}
+	}
+}
+
+func TestSweepConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Seeds: 5}); err == nil {
+		t.Fatal("nil Sim must be rejected")
+	}
+	mkSim, _, _ := fig2Config(3)
+	if _, err := Run(Config{Sim: mkSim, Seeds: 0}); err == nil {
+		t.Fatal("zero Seeds must be rejected")
+	}
+}
+
+func TestHistObserve(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	if h.Count != 6 || h.Min != 0 || h.Max != 1000 || h.Sum != 1010 {
+		t.Fatalf("bad summary: %+v", h)
+	}
+	// 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4 → bucket 3; 1000 → bucket 10.
+	want := map[int]int64{0: 1, 1: 1, 2: 2, 3: 1, 10: 1}
+	for i, c := range h.Buckets {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%s)", i, c, want[i], h.String())
+		}
+	}
+}
