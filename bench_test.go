@@ -304,8 +304,12 @@ func BenchmarkABDRegister(b *testing.B) {
 	base[0] = []register.Op{{Kind: register.WriteOp}, {Kind: register.ReadOp}, {Kind: register.WriteOp}}
 	base[1] = []register.Op{{Kind: register.ReadOp}, {Kind: register.WriteOp}, {Kind: register.ReadOp}}
 	scripts := register.UniqueWrites(base)
+	prog, err := register.Program(s, scripts)
+	if err != nil {
+		b.Fatal(err)
+	}
 	r := newRunner(b, sim.Config{
-		Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: register.Program(s, scripts),
+		Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: prog,
 		Scheduler: sim.NewRandomScheduler(0), MaxSteps: 60_000,
 		StopWhen: func(sn *sim.Snapshot) bool {
 			for _, p := range s.Members() {
@@ -334,6 +338,72 @@ func BenchmarkABDRegister(b *testing.B) {
 		msgs += res.MessagesSent
 	}
 	reportRun(b, steps, msgs)
+}
+
+// BenchmarkStore regenerates experiments E17 and E18 on the keyed register
+// store: one zipf-skewed keyed workload, completed client operations per
+// second of wall clock as the headline metric. E17 is throughput vs the
+// client pipelining window (window > 1 must strictly beat window = 1 on the
+// same seed set); E18 is the request-batching ablation (one message per
+// request instead of one batch per step), visible in msgs/op.
+func BenchmarkStore(b *testing.B) {
+	const n, keys, opsPerClient = 5, 12, 12
+	f := dist.NewFailurePattern(n)
+	s := dist.RangeSet(1, 3)
+	scripts, err := register.GenerateStoreWorkload(register.StoreWorkloadConfig{
+		N: n, S: s, Keys: keys, OpsPerClient: opsPerClient, WriteRatio: -1, Skew: 1.3, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := register.TotalKeyedOps(scripts)
+	run := func(b *testing.B, cfg register.StoreConfig) {
+		prog, err := register.StoreProgram(s, cfg, scripts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := newRunner(b, sim.Config{
+			Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: prog,
+			Scheduler: sim.NewRandomScheduler(0), MaxSteps: 500_000, DisableTrace: true,
+			StopWhen: func(sn *sim.Snapshot) bool {
+				return register.StoreClientsDone(sn, s)
+			},
+		})
+		var steps, msgs, completed int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := r.Reset(int64(i)).Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			done := 0
+			for _, a := range res.Automata {
+				if node, ok := a.(*register.StoreNode); ok {
+					done += node.CompletedOps()
+				}
+			}
+			if done != total {
+				b.Fatalf("seed %d completed %d/%d ops (%s)", i, done, total, res.Reason)
+			}
+			completed += int64(done)
+			steps += res.Steps
+			msgs += res.MessagesSent
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
+		reportRun(b, steps, msgs)
+	}
+	// E17: throughput vs pipelining window.
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(benchName("window", w), func(b *testing.B) {
+			run(b, register.StoreConfig{Keys: keys, Window: w})
+		})
+	}
+	// E18: batching off at the widest window.
+	b.Run("window=8-nobatch", func(b *testing.B) {
+		run(b, register.StoreConfig{Keys: keys, Window: 8, DisableBatching: true})
+	})
 }
 
 // BenchmarkConsensus regenerates experiment E13: the Ω+Σ baseline.

@@ -56,6 +56,8 @@ func run(args []string) error {
 		return cmdKSet(args[1:])
 	case "register":
 		return cmdRegister(args[1:])
+	case "store":
+		return cmdStore(args[1:])
 	case "consensus":
 		return cmdConsensus(args[1:])
 	case "counterexample":
@@ -87,6 +89,8 @@ subcommands:
   setagreement    -n 5 -seed 1 -crash "3,4"
   kset            -n 6 -k 2 -seed 1 -crash "5"
   register        -n 5 -seed 1
+  store           -n 5 -keys 16 -clients 3 -window 4 -ops 16 -seeds 20
+                  -workers 0 -skew 1.2 -write 0.5 -crash "5@40" -nobatch
   consensus       -n 5 -seed 1 -crash "5"
   counterexample  lemma7|lemma11|lemma15|tightness  [-n 5 -k 2 -seed 1]
   emulate         fig3|fig5|fig6  [-n 5 -seed 1]
@@ -305,6 +309,7 @@ func parseCrash(f *dist.FailurePattern, spec string) error {
 	if spec == "" {
 		return nil
 	}
+	var seen dist.ProcSet
 	for _, entry := range strings.Split(spec, ",") {
 		procPart, timePart, timed := strings.Cut(strings.TrimSpace(entry), "@")
 		p, err := strconv.Atoi(procPart)
@@ -314,6 +319,10 @@ func parseCrash(f *dist.FailurePattern, spec string) error {
 		if p < 1 || p > f.N() {
 			return fmt.Errorf("-crash process p%d outside 1..%d", p, f.N())
 		}
+		if seen.Contains(dist.ProcID(p)) {
+			return fmt.Errorf("bad -crash list %q: p%d appears twice (a process crashes at most once)", spec, p)
+		}
+		seen = seen.Add(dist.ProcID(p))
 		t := int64(0)
 		if timed {
 			t, err = strconv.ParseInt(timePart, 10, 64)
@@ -436,8 +445,12 @@ func cmdRegister(args []string) error {
 	base[0] = []register.Op{{Kind: register.WriteOp}, {Kind: register.ReadOp}, {Kind: register.WriteOp}, {Kind: register.ReadOp}}
 	base[1] = []register.Op{{Kind: register.ReadOp}, {Kind: register.WriteOp}, {Kind: register.ReadOp}}
 	scripts := register.UniqueWrites(base)
+	prog, err := register.Program(s, scripts)
+	if err != nil {
+		return err
+	}
 	res, err := sim.Run(sim.Config{
-		Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: register.Program(s, scripts),
+		Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: prog,
 		Scheduler: sim.NewRandomScheduler(*seed), MaxSteps: 60_000,
 	})
 	if err != nil {
@@ -455,6 +468,82 @@ func cmdRegister(args []string) error {
 	if !ok {
 		return fmt.Errorf("history not linearizable")
 	}
+	return nil
+}
+
+// cmdStore sweeps the keyed register store: a zipf-skewed keyed workload on
+// pipelined store clients, one run per scheduler seed on the sweep engine,
+// every per-key history checked for linearizability.
+func cmdStore(args []string) error {
+	fs := flag.NewFlagSet("store", flag.ContinueOnError)
+	n := fs.Int("n", 5, "system size")
+	keys := fs.Int("keys", 16, "number of keyed registers")
+	clients := fs.Int("clients", 3, "store members: S = {p1..pClients}")
+	window := fs.Int("window", 4, "client pipelining window (outstanding ops on distinct keys)")
+	ops := fs.Int("ops", 16, "scripted ops per client")
+	seeds := fs.Int64("seeds", 20, "scheduler seeds to sweep")
+	seedStart := fs.Int64("seed", 0, "first scheduler seed")
+	wseed := fs.Int64("wseed", 1, "workload generator seed")
+	workers := fs.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
+	crash := fs.String("crash", "", "crash list, e.g. \"5,4@40\"")
+	skew := fs.Float64("skew", 1.2, "zipf skew over keys (≤1 = uniform)")
+	write := fs.Float64("write", register.DefaultWriteRatio, "write ratio (0 = read-only)")
+	nobatch := fs.Bool("nobatch", false, "disable request batching (one message per request)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := newPattern(*n)
+	if err != nil {
+		return err
+	}
+	if *clients < 1 || *clients > *n {
+		return fmt.Errorf("store: -clients %d outside 1..%d", *clients, *n)
+	}
+	if err := parseCrash(f, *crash); err != nil {
+		return err
+	}
+	s := dist.RangeSet(1, dist.ProcID(*clients))
+	scripts, err := register.GenerateStoreWorkload(register.StoreWorkloadConfig{
+		N: *n, S: s, Keys: *keys, OpsPerClient: *ops,
+		WriteRatio: *write, Skew: *skew, Seed: *wseed,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := register.StoreSweep(register.StoreSweepConfig{
+		Pattern:   f,
+		S:         s,
+		Store:     register.StoreConfig{Keys: *keys, Window: *window, DisableBatching: *nobatch},
+		Scripts:   scripts,
+		SeedStart: *seedStart,
+		Seeds:     *seeds,
+		Workers:   *workers,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	// Throughput counts only correct clients' scripted ops — those are
+	// guaranteed complete by the per-run verification; a crashed client
+	// finishes an unknown prefix of its script, which would inflate the
+	// headline number.
+	opsPerRun := int64(0)
+	for _, p := range s.Intersect(f.Correct()).Members() {
+		opsPerRun += int64(len(scripts[p-1]))
+	}
+	fmt.Printf("store on %v, S=%v, keys=%d window=%d batching=%v: %d runs × %d scripted ops (%d at correct clients)\n",
+		f, s, *keys, *window, !*nobatch, res.Runs, register.TotalKeyedOps(scripts), opsPerRun)
+	fmt.Printf("  steps: %s\n  msgs:  %s\n", res.Steps.String(), res.Msgs.String())
+	passed := res.Runs - res.Failures // completion is only guaranteed for runs that passed verification
+	fmt.Printf("  %d completed ops in %v (%.0f ops/sec, %.0f runs/sec)\n",
+		opsPerRun*passed, elapsed.Round(time.Millisecond),
+		float64(opsPerRun*passed)/elapsed.Seconds(), float64(res.Runs)/elapsed.Seconds())
+	if res.Failures > 0 {
+		return fmt.Errorf("store: %d of %d runs failed verification (first seed %d: %v)",
+			res.Failures, res.Runs, res.FirstFailSeed, res.FirstFailErr)
+	}
+	fmt.Println("  every per-key history linearizable")
 	return nil
 }
 

@@ -15,6 +15,9 @@ func TestSubcommandsSucceed(t *testing.T) {
 		{"kset", "-n", "6", "-k", "2"},
 		{"kset", "-n", "6", "-k", "2", "-crash", "5"},
 		{"register", "-n", "5"},
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "3", "-workers", "2"},
+		{"store", "-n", "5", "-keys", "6", "-clients", "2", "-window", "3", "-ops", "6", "-seeds", "2", "-crash", "5@30"},
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-window", "1", "-ops", "4", "-seeds", "2", "-write", "0", "-nobatch"},
 		{"consensus", "-n", "4"},
 		{"counterexample", "lemma7", "-n", "4"},
 		{"counterexample", "lemma11", "-n", "5", "-k", "2"},
@@ -52,6 +55,11 @@ func TestSubcommandsFail(t *testing.T) {
 		{"emulate", "bogus"},
 		{"kset", "-n", "4", "-k", "3"},
 		{"setagreement", "-n", "3", "-crash", "1,2,3"},
+		{"setagreement", "-n", "5", "-crash", "3,3@40"}, // duplicate crash entry
+		{"store", "-n", "4", "-clients", "5"},
+		{"store", "-n", "4", "-keys", "0"},
+		{"store", "-n", "4", "-keys", "2", "-clients", "2", "-ops", "100"}, // over the per-key checker budget
+		{"store", "-n", "5", "-clients", "2", "-crash", "1,2"},            // every client crashed: nothing to verify
 		{"explore", "-fig", "bogus"},
 		{"explore", "-fig", "fig4", "-n", "3", "-k", "2"},
 		{"explore", "-fig", "fig2", "-n", "3", "-crash", "3@10"}, // crash at 10 ≥ TimeCap 1
@@ -104,6 +112,15 @@ func TestParseCrashSpec(t *testing.T) {
 	for _, bad := range []string{"x", "3@", "3@x", "3@-1", "@4", "0", "6", "3,,4", "3@1@2"} {
 		if err := parseCrash(newF(), bad); err == nil {
 			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+
+	// Duplicate process entries must be rejected instead of silently
+	// registering two crash events for one process.
+	for _, dup := range []string{"3,3", "3,3@40", "2@10,2@20", "1, 1"} {
+		err := parseCrash(newF(), dup)
+		if err == nil || !strings.Contains(err.Error(), "twice") {
+			t.Fatalf("duplicate spec %q: err=%v", dup, err)
 		}
 	}
 

@@ -32,11 +32,15 @@ func main() {
 		{Kind: register.ReadOp}, {Kind: register.WriteOp}, {Kind: register.ReadOp},
 	}
 	scripts := register.UniqueWrites(base)
+	prog, err := register.Program(s, scripts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	res, err := sim.Run(sim.Config{
 		Pattern:   pattern,
 		History:   fd.NewSigmaS(pattern, s, 100),
-		Program:   register.Program(s, scripts),
+		Program:   prog,
 		Scheduler: sim.NewRandomScheduler(7),
 		MaxSteps:  60_000,
 	})

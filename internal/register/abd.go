@@ -112,22 +112,30 @@ type Node struct {
 var _ sim.Automaton = (*Node)(nil)
 
 // NewNode builds the ABD automaton for process self with the given client
-// script (empty for pure replicas; scripts at processes outside S are
-// rejected at run time by Step, enforcing the S-register access restriction).
+// script (empty for pure replicas). Scripts at processes outside S are
+// ignored at run time by Step, enforcing the S-register access restriction;
+// Program additionally rejects them at construction time.
 func NewNode(self dist.ProcID, n int, s dist.ProcSet, script []Op) *Node {
 	return &Node{self: self, n: n, s: s, script: script}
 }
 
-// Program builds a Program from per-process scripts (index ProcID-1; nil
-// entries are pure replicas).
-func Program(s dist.ProcSet, scripts [][]Op) sim.Program {
+// Program builds a sim.Program from per-process scripts (index ProcID-1; nil
+// entries are pure replicas). A script attached to a process outside S is a
+// construction-time error: the access restriction would otherwise silently
+// discard it at run time, making the experiment lie about its workload.
+func Program(s dist.ProcSet, scripts [][]Op) (sim.Program, error) {
+	for i, sc := range scripts {
+		if p := dist.ProcID(i + 1); len(sc) > 0 && !s.Contains(p) {
+			return nil, fmt.Errorf("register: script attached to p%d outside S=%v", int(p), s)
+		}
+	}
 	return func(p dist.ProcID, n int) sim.Automaton {
 		var script []Op
 		if int(p) <= len(scripts) {
 			script = scripts[p-1]
 		}
 		return NewNode(p, n, s, script)
-	}
+	}, nil
 }
 
 // Done reports whether the node's script has fully executed.

@@ -10,7 +10,7 @@ import (
 
 // runABD executes scripted ABD clients over the given Σ_S history and
 // returns the run result after all scripts finish (or the horizon expires).
-func runABD(t *testing.T, f *dist.FailurePattern, s dist.ProcSet, scripts [][]Op, hist sim.History, prog sim.Program, seed int64) *sim.Result {
+func runABD(t *testing.T, f *dist.FailurePattern, s dist.ProcSet, hist sim.History, prog sim.Program, seed int64) *sim.Result {
 	t.Helper()
 	res, err := sim.Run(sim.Config{
 		Pattern:   f,
@@ -31,6 +31,17 @@ func runABD(t *testing.T, f *dist.FailurePattern, s dist.ProcSet, scripts [][]Op
 		t.Fatalf("sim.Run: %v", err)
 	}
 	return res
+}
+
+// mustProgram builds the validated client program, failing the test on
+// construction errors.
+func mustProgram(t *testing.T, s dist.ProcSet, scripts [][]Op) sim.Program {
+	t.Helper()
+	prog, err := Program(s, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
 }
 
 func asNode(a sim.Automaton) *Node {
@@ -70,7 +81,7 @@ func TestABDSequentialWriteRead(t *testing.T) {
 	s := dist.NewProcSet(1, 2)
 	scripts := make([][]Op, n)
 	scripts[0] = []Op{{Kind: WriteOp, Arg: 42}, {Kind: ReadOp}}
-	res := runABD(t, f, s, scripts, fd.NewSigmaS(f, s, 10), Program(s, scripts), 1)
+	res := runABD(t, f, s, fd.NewSigmaS(f, s, 10), mustProgram(t, s, scripts), 1)
 	checkRun(t, res, f)
 	node := asNode(res.Automata[0])
 	if len(node.Reads) != 1 || node.Reads[0] != 42 {
@@ -85,7 +96,7 @@ func TestABDReadSeesOtherWriter(t *testing.T) {
 	scripts := make([][]Op, n)
 	scripts[0] = []Op{{Kind: WriteOp, Arg: 7}}
 	scripts[2] = []Op{{Kind: ReadOp}, {Kind: ReadOp}, {Kind: ReadOp}}
-	res := runABD(t, f, s, scripts, fd.NewSigmaS(f, s, 10), Program(s, scripts), 3)
+	res := runABD(t, f, s, fd.NewSigmaS(f, s, 10), mustProgram(t, s, scripts), 3)
 	checkRun(t, res, f)
 	node := asNode(res.Automata[2])
 	// The last read must see the write once it completed (real-time order is
@@ -106,7 +117,7 @@ func TestABDConcurrentWritersLinearizable(t *testing.T) {
 	base[2] = []Op{{Kind: ReadOp}, {Kind: WriteOp}, {Kind: ReadOp}, {Kind: WriteOp}}
 	scripts := UniqueWrites(base)
 	for seed := int64(0); seed < 25; seed++ {
-		res := runABD(t, f, s, scripts, fd.NewSigmaS(f, s, 10), Program(s, scripts), seed)
+		res := runABD(t, f, s, fd.NewSigmaS(f, s, 10), mustProgram(t, s, scripts), seed)
 		checkRun(t, res, f)
 	}
 }
@@ -124,7 +135,7 @@ func TestABDWithReplicaCrashes(t *testing.T) {
 		f := dist.NewFailurePattern(n)
 		f.CrashAt(5, dist.Time(20+seed*3))
 		f.CrashAt(6, dist.Time(5+seed*5))
-		res := runABD(t, f, s, scripts, fd.NewSigmaS(f, s, 200), Program(s, scripts), seed)
+		res := runABD(t, f, s, fd.NewSigmaS(f, s, 200), mustProgram(t, s, scripts), seed)
 		checkRun(t, res, f)
 	}
 }
@@ -141,20 +152,42 @@ func TestABDClientCrashMidOperation(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		f := dist.NewFailurePattern(n)
 		f.CrashAt(1, dist.Time(10+seed*2))
-		res := runABD(t, f, s, scripts, fd.NewSigmaS(f, s, 150), Program(s, scripts), seed)
+		res := runABD(t, f, s, fd.NewSigmaS(f, s, 150), mustProgram(t, s, scripts), seed)
 		checkRun(t, res, f)
 	}
 }
 
+func TestProgramRejectsScriptOutsideS(t *testing.T) {
+	// The S-register access restriction is a construction-time error: a
+	// script attached to a process outside S would otherwise be silently
+	// discarded at run time, making the experiment lie about its workload.
+	s := dist.NewProcSet(1, 2)
+	scripts := make([][]Op, 4)
+	scripts[3] = []Op{{Kind: WriteOp, Arg: 9}} // p4 ∉ S
+	if _, err := Program(s, scripts); err == nil {
+		t.Fatal("Program accepted a script at p4 outside S={p1,p2}")
+	}
+	scripts[3] = nil
+	if _, err := Program(s, scripts); err != nil {
+		t.Fatalf("valid scripts rejected: %v", err)
+	}
+}
+
 func TestABDNonMembersNeverOperate(t *testing.T) {
-	// The S-register access restriction: scripts at processes outside S are
-	// ignored.
+	// The runtime side of the access restriction: a node built directly
+	// with NewNode (bypassing Program's construction-time guard) still
+	// never operates at a process outside S.
 	const n = 4
 	f := dist.NewFailurePattern(n)
 	s := dist.NewProcSet(1, 2)
-	scripts := make([][]Op, n)
-	scripts[3] = []Op{{Kind: WriteOp, Arg: 9}} // p4 ∉ S
-	res := runABD(t, f, s, scripts, fd.NewSigmaS(f, s, 10), Program(s, scripts), 1)
+	prog := func(p dist.ProcID, nn int) sim.Automaton {
+		var script []Op
+		if p == 4 { // p4 ∉ S
+			script = []Op{{Kind: WriteOp, Arg: 9}}
+		}
+		return NewNode(p, nn, s, script)
+	}
+	res := runABD(t, f, s, fd.NewSigmaS(f, s, 10), prog, 1)
 	if ops := ExtractOps(res.Trace); len(ops) != 0 {
 		t.Fatalf("non-member executed operations: %v", ops)
 	}
@@ -181,7 +214,7 @@ func TestABDOverMajoritySigmaStack(t *testing.T) {
 		if seed%2 == 0 {
 			f.CrashAt(5, dist.Time(30)) // minority crash
 		}
-		res := runABD(t, f, s, scripts, sim.HistoryFunc(func(dist.ProcID, dist.Time) any { return nil }), prog, seed)
+		res := runABD(t, f, s, sim.HistoryFunc(func(dist.ProcID, dist.Time) any { return nil }), prog, seed)
 		checkRun(t, res, f)
 	}
 }

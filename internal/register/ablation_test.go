@@ -161,7 +161,7 @@ func TestRandomWorkloadsLinearizable(t *testing.T) {
 		res, err := sim.Run(sim.Config{
 			Pattern:   f,
 			History:   fd.NewSigmaS(f, s, 120),
-			Program:   Program(s, scripts),
+			Program:   mustProgram(t, s, scripts),
 			Scheduler: sim.NewRandomScheduler(seed),
 			MaxSteps:  80_000,
 			StopWhen: func(sn *sim.Snapshot) bool {

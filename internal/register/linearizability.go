@@ -67,6 +67,65 @@ func ExtractOps(tr *trace.Trace) []OpRecord {
 	return ops
 }
 
+// ExtractKeyedOps pairs the Invoke/Return events of a keyed store trace
+// (KeyedOpDesc payloads) into per-key operation records, each key's history
+// ordered by invocation time.
+func ExtractKeyedOps(tr *trace.Trace) map[int][]OpRecord {
+	type ik struct {
+		p   dist.ProcID
+		seq int64
+	}
+	type slot struct{ key, idx int }
+	idx := make(map[ik]slot)
+	byKey := make(map[int][]OpRecord)
+	for _, e := range tr.Events() {
+		desc, ok := e.Payload.(KeyedOpDesc)
+		if !ok {
+			continue
+		}
+		k := ik{p: e.P, seq: e.Seq}
+		switch e.Kind {
+		case trace.InvokeKind:
+			idx[k] = slot{key: desc.Key, idx: len(byKey[desc.Key])}
+			byKey[desc.Key] = append(byKey[desc.Key], OpRecord{
+				Proc: e.P, Seq: e.Seq, Kind: desc.Kind, Arg: desc.Arg, Invoked: e.T,
+			})
+		case trace.ReturnKind:
+			if s, found := idx[k]; found {
+				o := &byKey[s.key][s.idx]
+				o.Returned, o.Ret, o.Complete = e.T, desc.Ret, true
+			}
+		}
+	}
+	for _, ops := range byKey {
+		sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoked < ops[j].Invoked })
+	}
+	return byKey
+}
+
+// CheckKeyedLinearizable runs the register checker independently on every
+// key's history — the store multiplexes independent S-registers, so
+// linearizability is exactly per-key linearizability. Keys are checked in
+// ascending order, making failure messages deterministic. Every register
+// starts at initial.
+func CheckKeyedLinearizable(byKey map[int][]OpRecord, initial Value) error {
+	keys := make([]int, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		ok, err := CheckLinearizable(byKey[k], initial)
+		if err != nil {
+			return fmt.Errorf("key %d: %w", k, err)
+		}
+		if !ok {
+			return fmt.Errorf("key %d: %s", k, ExplainNonLinearizable(byKey[k]))
+		}
+	}
+	return nil
+}
+
 // CheckLinearizable decides whether a register history is linearizable with
 // respect to the atomic read/write register starting at `initial`, using
 // Wing-Gong exhaustive search with memoization. Incomplete operations

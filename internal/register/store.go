@@ -1,0 +1,381 @@
+package register
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/sim"
+)
+
+// KeyedOp is one scripted client operation against the keyed register store.
+type KeyedOp struct {
+	Key  int
+	Kind OpKind
+	Arg  Value // written value (WriteOp only)
+}
+
+// String renders the op.
+func (o KeyedOp) String() string {
+	if o.Kind == ReadOp {
+		return fmt.Sprintf("read(k%d)", o.Key)
+	}
+	return fmt.Sprintf("write(k%d,%d)", o.Key, int64(o.Arg))
+}
+
+// KeyedOpDesc is the payload recorded on Invoke/Return trace events of store
+// operations; ExtractKeyedOps groups the records by Key.
+type KeyedOpDesc struct {
+	Key  int
+	Kind OpKind
+	Arg  Value // write argument
+	Ret  Value // read result (Return events of reads)
+}
+
+// Store protocol messages. Every request or reply is an entry correlated by
+// (Key, RID); all entries ready in one step and bound for the same
+// destination travel in a single batch payload. With batching disabled
+// (StoreConfig.DisableBatching) each batch carries exactly one entry — the
+// E18 ablation, which pays one message per request.
+type (
+	queryEntry struct {
+		Key int
+		RID int64
+	}
+	queryRepEntry struct {
+		Key int
+		RID int64
+		TS  Timestamp
+		V   Value
+	}
+	storeEntry struct {
+		Key int
+		RID int64
+		TS  Timestamp
+		V   Value
+	}
+	storeRepEntry struct {
+		Key int
+		RID int64
+	}
+	queryReqBatch struct{ E []queryEntry }
+	queryRepBatch struct{ E []queryRepEntry }
+	storeReqBatch struct{ E []storeEntry }
+	storeRepBatch struct{ E []storeRepEntry }
+)
+
+// StoreConfig parameterizes the keyed register store.
+type StoreConfig struct {
+	// Keys is the number of independent S-registers multiplexed by every
+	// store node; keys are the dense indices 0..Keys-1.
+	Keys int
+	// Window is the client pipelining depth: how many operations a client
+	// may have outstanding at once, always on distinct keys (an op whose
+	// key is already in flight waits, preserving per-key program order).
+	// 0 or 1 disables pipelining.
+	Window int
+	// DisableBatching sends one request per message instead of coalescing
+	// all same-destination requests of a step into one batch (E18).
+	DisableBatching bool
+}
+
+func (c StoreConfig) window() int {
+	if c.Window < 1 {
+		return 1
+	}
+	return c.Window
+}
+
+// storeOp is one outstanding client operation: per-key quorum tracking with
+// the same two ABD phases as the single-register Node.
+type storeOp struct {
+	key     int
+	rid     int64
+	kind    OpKind
+	arg     Value
+	seq     int64
+	phase   uint8 // 1 query phase, 2 store phase
+	acks    dist.ProcSet
+	best    Timestamp
+	bestVal Value
+}
+
+// StoreNode is the per-process automaton of the keyed register store: one
+// ABD replica for every key plus, at members of S, a pipelined multi-key
+// client — the multi-object generalization of Node. Replica state is dense
+// per-key Timestamp/Value slices, quorum tracking is per outstanding op, and
+// all keys share one message layer.
+type StoreNode struct {
+	self dist.ProcID
+	n    int
+	s    dist.ProcSet
+	cfg  StoreConfig
+
+	// Replica state, dense per key.
+	ts  []Timestamp
+	val []Value
+
+	// Client state.
+	script    []KeyedOp
+	next      int // next script index not yet started
+	opSeq     int64
+	rid       int64
+	pend      []storeOp
+	completed int
+
+	// Per-step request accumulators, flushed as batches at the end of the
+	// step (reused across steps; the flushed payload slices are fresh).
+	qOut []queryEntry
+	sOut []storeEntry
+}
+
+var _ sim.Automaton = (*StoreNode)(nil)
+
+// NewStoreNode builds the store automaton for process self. Prefer
+// StoreProgram, which validates the configuration at construction time;
+// NewStoreNode trusts its arguments (scripts at processes outside S are
+// still ignored at run time, enforcing the S-register access restriction).
+func NewStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, script []KeyedOp) *StoreNode {
+	return &StoreNode{
+		self:   self,
+		n:      n,
+		s:      s,
+		cfg:    cfg,
+		ts:     make([]Timestamp, cfg.Keys),
+		val:    make([]Value, cfg.Keys),
+		script: script,
+	}
+}
+
+// StoreProgram builds a sim.Program running a StoreNode at every process
+// (scripts indexed ProcID-1; nil entries are pure replicas). Invalid setups
+// — a script attached to a process outside S, a key outside [0, Keys), an
+// unknown op kind, a non-positive key count — are construction-time errors.
+func StoreProgram(s dist.ProcSet, cfg StoreConfig, scripts [][]KeyedOp) (sim.Program, error) {
+	if cfg.Keys < 1 {
+		return nil, fmt.Errorf("register: store needs Keys ≥ 1, got %d", cfg.Keys)
+	}
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("register: store window %d is negative", cfg.Window)
+	}
+	for i, sc := range scripts {
+		p := dist.ProcID(i + 1)
+		if len(sc) > 0 && !s.Contains(p) {
+			return nil, fmt.Errorf("register: script attached to p%d outside S=%v", int(p), s)
+		}
+		for j, op := range sc {
+			if op.Key < 0 || op.Key >= cfg.Keys {
+				return nil, fmt.Errorf("register: p%d op %d: key %d outside [0,%d)", int(p), j, op.Key, cfg.Keys)
+			}
+			if op.Kind != ReadOp && op.Kind != WriteOp {
+				return nil, fmt.Errorf("register: p%d op %d: unknown op kind %d", int(p), j, op.Kind)
+			}
+		}
+	}
+	return func(p dist.ProcID, n int) sim.Automaton {
+		var script []KeyedOp
+		if int(p) <= len(scripts) {
+			script = scripts[p-1]
+		}
+		return NewStoreNode(p, n, s, cfg, script)
+	}, nil
+}
+
+// Done reports whether the node's script has fully executed and no operation
+// is outstanding.
+func (a *StoreNode) Done() bool { return a.next >= len(a.script) && len(a.pend) == 0 }
+
+// CompletedOps returns the number of client operations this node completed.
+func (a *StoreNode) CompletedOps() int { return a.completed }
+
+// Step implements sim.Automaton.
+func (a *StoreNode) Step(e *sim.Env) {
+	if payload, from, ok := e.Delivered(); ok {
+		a.onMessage(e, payload, from)
+	}
+	if !a.s.Contains(a.self) || a.Done() {
+		return // not a member of S (replica only) or script finished
+	}
+	a.qOut = a.qOut[:0]
+	a.sOut = a.sOut[:0]
+	a.advance(e)
+	a.start(e)
+	a.flush(e)
+}
+
+func (a *StoreNode) onMessage(e *sim.Env, payload any, from dist.ProcID) {
+	switch m := payload.(type) {
+	case queryReqBatch:
+		reps := make([]queryRepEntry, 0, len(m.E))
+		for _, q := range m.E {
+			if q.Key < 0 || q.Key >= len(a.ts) {
+				continue
+			}
+			reps = append(reps, queryRepEntry{Key: q.Key, RID: q.RID, TS: a.ts[q.Key], V: a.val[q.Key]})
+		}
+		if a.cfg.DisableBatching {
+			for i := range reps {
+				e.Send(from, queryRepBatch{E: reps[i : i+1 : i+1]})
+			}
+		} else if len(reps) > 0 {
+			e.Send(from, queryRepBatch{E: reps})
+		}
+	case storeReqBatch:
+		reps := make([]storeRepEntry, 0, len(m.E))
+		for _, s := range m.E {
+			if s.Key < 0 || s.Key >= len(a.ts) {
+				continue
+			}
+			if a.ts[s.Key].Less(s.TS) {
+				a.ts[s.Key], a.val[s.Key] = s.TS, s.V
+			}
+			reps = append(reps, storeRepEntry{Key: s.Key, RID: s.RID})
+		}
+		if a.cfg.DisableBatching {
+			for i := range reps {
+				e.Send(from, storeRepBatch{E: reps[i : i+1 : i+1]})
+			}
+		} else if len(reps) > 0 {
+			e.Send(from, storeRepBatch{E: reps})
+		}
+	case queryRepBatch:
+		for _, rep := range m.E {
+			if op := a.lookup(rep.Key, rep.RID, 1); op != nil {
+				op.acks = op.acks.Add(from)
+				if op.best.Less(rep.TS) {
+					op.best, op.bestVal = rep.TS, rep.V
+				}
+			}
+		}
+	case storeRepBatch:
+		for _, rep := range m.E {
+			if op := a.lookup(rep.Key, rep.RID, 2); op != nil {
+				op.acks = op.acks.Add(from)
+			}
+		}
+	}
+}
+
+// lookup finds the outstanding op correlated by (key, rid) in the given
+// phase. The window is small, so a linear scan beats any index.
+func (a *StoreNode) lookup(key int, rid int64, phase uint8) *storeOp {
+	for i := range a.pend {
+		op := &a.pend[i]
+		if op.key == key && op.rid == rid && op.phase == phase {
+			return op
+		}
+	}
+	return nil
+}
+
+func (a *StoreNode) inFlight(key int) bool {
+	for i := range a.pend {
+		if a.pend[i].key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// advance applies the ABD phase-termination rule to every outstanding op
+// with one Σ_S query per step: an op whose responders cover a trusted set
+// moves from query to store phase (writes pick ts = best+1, reads write the
+// best value back) or completes.
+func (a *StoreNode) advance(e *sim.Env) {
+	if len(a.pend) == 0 {
+		return
+	}
+	tl, ok := e.QueryFD().(fd.TrustList)
+	if !ok || tl.Bottom || tl.Trusted.IsEmpty() {
+		return
+	}
+	kept := a.pend[:0]
+	for i := range a.pend {
+		op := a.pend[i]
+		if !tl.Trusted.SubsetOf(op.acks) {
+			kept = append(kept, op)
+			continue
+		}
+		switch op.phase {
+		case 1:
+			var st Timestamp
+			var v Value
+			if op.kind == WriteOp {
+				st = Timestamp{Seq: op.best.Seq + 1, PID: a.self}
+				v = op.arg
+			} else {
+				st, v = op.best, op.bestVal // read write-back
+			}
+			a.rid++
+			op.rid = a.rid
+			op.phase = 2
+			op.acks = dist.NewProcSet(a.self) // the local replica answers immediately
+			op.best, op.bestVal = st, v
+			if a.ts[op.key].Less(st) {
+				a.ts[op.key], a.val[op.key] = st, v
+			}
+			a.sOut = append(a.sOut, storeEntry{Key: op.key, RID: op.rid, TS: st, V: v})
+			kept = append(kept, op)
+		case 2:
+			desc := KeyedOpDesc{Key: op.key, Kind: op.kind, Arg: op.arg}
+			if op.kind == ReadOp {
+				desc.Ret = op.bestVal
+			}
+			e.Return(op.seq, desc)
+			a.completed++
+			// Completed: dropped from the pending window.
+		}
+	}
+	a.pend = kept
+}
+
+// start fills the pipelining window: scripted ops begin strictly in script
+// order, and an op whose key is already in flight blocks the ones behind it
+// (head-of-line blocking keeps per-client per-key program order).
+func (a *StoreNode) start(e *sim.Env) {
+	for len(a.pend) < a.cfg.window() && a.next < len(a.script) {
+		op := a.script[a.next]
+		if a.inFlight(op.Key) {
+			return
+		}
+		a.next++
+		a.opSeq++
+		a.rid++
+		e.Invoke(a.opSeq, KeyedOpDesc{Key: op.Key, Kind: op.Kind, Arg: op.Arg})
+		a.pend = append(a.pend, storeOp{
+			key:     op.Key,
+			rid:     a.rid,
+			kind:    op.Kind,
+			arg:     op.Arg,
+			seq:     a.opSeq,
+			phase:   1,
+			acks:    dist.NewProcSet(a.self),
+			best:    a.ts[op.Key],
+			bestVal: a.val[op.Key],
+		})
+		a.qOut = append(a.qOut, queryEntry{Key: op.Key, RID: a.rid})
+	}
+}
+
+// flush broadcasts the step's accumulated requests: one batch per payload
+// kind, or one message per entry when batching is disabled.
+func (a *StoreNode) flush(e *sim.Env) {
+	if len(a.qOut) > 0 {
+		if a.cfg.DisableBatching {
+			for _, q := range a.qOut {
+				e.Broadcast(queryReqBatch{E: []queryEntry{q}})
+			}
+		} else {
+			e.Broadcast(queryReqBatch{E: append([]queryEntry(nil), a.qOut...)})
+		}
+	}
+	if len(a.sOut) > 0 {
+		if a.cfg.DisableBatching {
+			for _, s := range a.sOut {
+				e.Broadcast(storeReqBatch{E: []storeEntry{s}})
+			}
+		} else {
+			e.Broadcast(storeReqBatch{E: append([]storeEntry(nil), a.sOut...)})
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package register
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/sim"
+)
+
+// runStore executes one keyed store run: StoreProgram over Σ_S, stopping
+// once every correct client finished its script.
+func runStore(t *testing.T, f *dist.FailurePattern, s dist.ProcSet, cfg StoreConfig, scripts [][]KeyedOp, stab dist.Time, seed int64) *sim.Result {
+	t.Helper()
+	prog, err := StoreProgram(s, cfg, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := s.Intersect(f.Correct())
+	res, err := sim.Run(sim.Config{
+		Pattern:   f,
+		History:   fd.NewSigmaS(f, s, stab),
+		Program:   prog,
+		Scheduler: sim.NewRandomScheduler(seed),
+		MaxSteps:  int64(20_000 + 2_000*TotalKeyedOps(scripts)),
+		StopWhen: func(sn *sim.Snapshot) bool {
+			return StoreClientsDone(sn, clients)
+		},
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return res
+}
+
+func TestStoreSequentialKeyed(t *testing.T) {
+	const n = 4
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2)
+	scripts := make([][]KeyedOp, n)
+	scripts[0] = []KeyedOp{
+		{Key: 0, Kind: WriteOp, Arg: 5},
+		{Key: 0, Kind: ReadOp},
+		{Key: 1, Kind: WriteOp, Arg: 7},
+	}
+	scripts[1] = []KeyedOp{
+		{Key: 0, Kind: ReadOp},
+		{Key: 1, Kind: ReadOp},
+		{Key: 2, Kind: ReadOp},
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		res := runStore(t, f, s, StoreConfig{Keys: 3, Window: 1}, scripts, 10, seed)
+		if err := VerifyStoreRun(res, f.Correct()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		byKey := ExtractKeyedOps(res.Trace)
+		if got := len(byKey[0]); got != 3 {
+			t.Fatalf("seed %d: key 0 has %d ops, want 3", seed, got)
+		}
+		// p1 reads its own completed write of key 0: program order per key.
+		for _, o := range byKey[0] {
+			if o.Proc == 1 && o.Kind == ReadOp && o.Ret != 5 {
+				t.Fatalf("seed %d: p1 read key0 = %d, want 5", seed, int64(o.Ret))
+			}
+		}
+		// Key 2 is only ever read: every read returns the initial 0.
+		for _, o := range byKey[2] {
+			if o.Ret != 0 {
+				t.Fatalf("seed %d: untouched key2 read %d, want 0", seed, int64(o.Ret))
+			}
+		}
+	}
+}
+
+// opIntervals flattens a run's keyed records into per-process operation
+// windows, preserving the key for per-key order checks.
+type keyedInterval struct {
+	key      int
+	invoked  dist.Time
+	returned dist.Time
+}
+
+func intervalsByProc(t *testing.T, res *sim.Result) map[dist.ProcID][]keyedInterval {
+	t.Helper()
+	out := make(map[dist.ProcID][]keyedInterval)
+	for key, ops := range ExtractKeyedOps(res.Trace) {
+		for _, o := range ops {
+			if !o.Complete {
+				continue
+			}
+			out[o.Proc] = append(out[o.Proc], keyedInterval{key: key, invoked: o.Invoked, returned: o.Returned})
+		}
+	}
+	for _, ivs := range out {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].invoked < ivs[j].invoked })
+	}
+	return out
+}
+
+func TestStorePipeliningOverlapsDistinctKeysOnly(t *testing.T) {
+	const n, window = 5, 3
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 8, OpsPerClient: 10, WriteRatio: -1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOverlap := false
+	for seed := int64(0); seed < 8; seed++ {
+		res := runStore(t, f, s, StoreConfig{Keys: 8, Window: window}, scripts, 10, seed)
+		if err := VerifyStoreRun(res, f.Correct()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for p, ivs := range intervalsByProc(t, res) {
+			for i := range ivs {
+				concurrent := 1
+				for j := range ivs {
+					if i == j {
+						continue
+					}
+					overlap := ivs[i].invoked < ivs[j].returned && ivs[j].invoked < ivs[i].returned
+					if !overlap {
+						continue
+					}
+					concurrent++
+					if ivs[i].key == ivs[j].key {
+						t.Fatalf("seed %d: p%d has two concurrent ops on key %d — the window must hold distinct keys",
+							seed, int(p), ivs[i].key)
+					}
+				}
+				if concurrent > window {
+					t.Fatalf("seed %d: p%d had %d concurrent ops, window is %d", seed, int(p), concurrent, window)
+				}
+				if concurrent > 1 {
+					sawOverlap = true
+				}
+			}
+		}
+	}
+	if !sawOverlap {
+		t.Fatal("pipelining never overlapped two operations — the window is not being used")
+	}
+}
+
+func TestStorePipeliningReducesTimeToCompletion(t *testing.T) {
+	const n = 5
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2, 3)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 10, OpsPerClient: 10, WriteRatio: -1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := make(map[int]int64)
+	for _, window := range []int{1, 4} {
+		for seed := int64(0); seed < 6; seed++ {
+			res := runStore(t, f, s, StoreConfig{Keys: 10, Window: window}, scripts, 10, seed)
+			if err := VerifyStoreRun(res, f.Correct()); err != nil {
+				t.Fatalf("window %d seed %d: %v", window, seed, err)
+			}
+			ticks[window] += res.Ticks
+		}
+	}
+	if ticks[4] >= ticks[1] {
+		t.Fatalf("window=4 took %d ticks, window=1 took %d — pipelining must reduce time to completion",
+			ticks[4], ticks[1])
+	}
+}
+
+func TestStoreBatchingReducesMessages(t *testing.T) {
+	const n = 5
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 8, OpsPerClient: 10, WriteRatio: -1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make(map[bool]int64)
+	for _, disable := range []bool{false, true} {
+		for seed := int64(0); seed < 6; seed++ {
+			res := runStore(t, f, s, StoreConfig{Keys: 8, Window: 4, DisableBatching: disable}, scripts, 10, seed)
+			if err := VerifyStoreRun(res, f.Correct()); err != nil {
+				t.Fatalf("batching=%v seed %d: %v", !disable, seed, err)
+			}
+			msgs[disable] += res.MessagesSent
+		}
+	}
+	if msgs[false] >= msgs[true] {
+		t.Fatalf("batched runs sent %d messages, unbatched %d — batching must reduce message count",
+			msgs[false], msgs[true])
+	}
+}
+
+func TestStoreSurvivesCrashes(t *testing.T) {
+	const n = 6
+	s := dist.NewProcSet(1, 2, 3)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 6, OpsPerClient: 6, WriteRatio: -1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		f := dist.NewFailurePattern(n)
+		f.CrashAt(6, dist.Time(10+seed*5)) // a replica outside S
+		if seed%2 == 0 {
+			f.CrashAt(3, dist.Time(25+seed)) // a client mid-run
+		}
+		res := runStore(t, f, s, StoreConfig{Keys: 6, Window: 2}, scripts, 200, seed)
+		if err := VerifyStoreRun(res, f.Correct()); err != nil {
+			t.Fatalf("seed %d on %v: %v", seed, f, err)
+		}
+	}
+}
+
+func TestStoreReadOnlyWorkload(t *testing.T) {
+	// A WriteRatio of 0 must be honored (the regression behind the
+	// single-register workload fix): every operation is a read of the
+	// initial value.
+	const n = 4
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 4, OpsPerClient: 8, WriteRatio: 0, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runStore(t, f, s, StoreConfig{Keys: 4, Window: 2}, scripts, 10, 1)
+	if err := VerifyStoreRun(res, f.Correct()); err != nil {
+		t.Fatal(err)
+	}
+	for key, ops := range ExtractKeyedOps(res.Trace) {
+		for _, o := range ops {
+			if o.Kind != ReadOp {
+				t.Fatalf("read-only workload executed %v on key %d", o, key)
+			}
+			if o.Ret != 0 {
+				t.Fatalf("read-only key %d returned %d, want 0", key, int64(o.Ret))
+			}
+		}
+	}
+}
+
+func TestStoreProgramConstructionErrors(t *testing.T) {
+	s := dist.NewProcSet(1, 2)
+	valid := [][]KeyedOp{{{Key: 0, Kind: ReadOp}}}
+	if _, err := StoreProgram(s, StoreConfig{Keys: 2}, valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		cfg     StoreConfig
+		scripts [][]KeyedOp
+	}{
+		{"no keys", StoreConfig{Keys: 0}, valid},
+		{"negative window", StoreConfig{Keys: 2, Window: -1}, valid},
+		{"script outside S", StoreConfig{Keys: 2}, [][]KeyedOp{nil, nil, {{Key: 0, Kind: ReadOp}}}},
+		{"key out of range", StoreConfig{Keys: 2}, [][]KeyedOp{{{Key: 2, Kind: ReadOp}}}},
+		{"negative key", StoreConfig{Keys: 2}, [][]KeyedOp{{{Key: -1, Kind: ReadOp}}}},
+		{"bad op kind", StoreConfig{Keys: 2}, [][]KeyedOp{{{Key: 0}}}},
+	}
+	for _, tc := range cases {
+		if _, err := StoreProgram(s, tc.cfg, tc.scripts); err == nil {
+			t.Fatalf("%s: construction must fail", tc.name)
+		}
+	}
+}
+
+func TestStoreSweepLinearizableAndWorkerIndependent(t *testing.T) {
+	const n = 5
+	f := dist.NewFailurePattern(n)
+	f.CrashAt(5, 60)
+	s := dist.NewProcSet(1, 2, 3)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 8, OpsPerClient: 8, WriteRatio: -1, Skew: 1.5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StoreSweepConfig{
+		Pattern: f, S: s,
+		Store:   StoreConfig{Keys: 8, Window: 3},
+		Scripts: scripts,
+		Stab:    120,
+		Seeds:   10,
+		Workers: 1,
+	}
+	base, err := StoreSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sweep with every client crashed would verify nothing and must be
+	// rejected instead of vacuously succeeding.
+	dead := dist.NewFailurePattern(n)
+	for _, p := range s.Members() {
+		dead.CrashAt(p, 0)
+	}
+	deadCfg := cfg
+	deadCfg.Pattern = dead
+	if _, err := StoreSweep(deadCfg); err == nil {
+		t.Fatal("sweep with no correct client must be a setup error")
+	}
+	if base.Runs != 10 || base.Failures != 0 {
+		t.Fatalf("sweep failed: %s", base)
+	}
+	for _, w := range []int{2, 4} {
+		cfg.Workers = w
+		got, err := StoreSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Runs != base.Runs || got.Failures != base.Failures ||
+			got.FirstFailSeed != base.FirstFailSeed ||
+			got.Steps != base.Steps || got.Msgs != base.Msgs {
+			t.Fatalf("workers=%d diverged:\n  1: %+v\n  %d: %+v", w, base, w, got)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package register
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// StoreSweepConfig parameterizes a multi-seed store experiment on the
+// concurrent sweep engine: one keyed workload, many scheduler seeds.
+type StoreSweepConfig struct {
+	// Pattern is the failure pattern shared by every run (fixes n).
+	Pattern *dist.FailurePattern
+	// S is the store's member set, Store the store parameters, Scripts the
+	// per-process keyed scripts (see GenerateStoreWorkload).
+	S       dist.ProcSet
+	Store   StoreConfig
+	Scripts [][]KeyedOp
+	// Stab is the Σ_S stabilization time (default 20).
+	Stab dist.Time
+	// MaxSteps bounds each run; 0 derives a generous budget from the
+	// script volume.
+	MaxSteps int64
+	// SeedStart, Seeds and Workers configure the sweep (see sweep.Config).
+	SeedStart int64
+	Seeds     int64
+	Workers   int
+}
+
+// StoreSweep runs Seeds store runs on the sweep engine and verifies every
+// run with VerifyStoreRun: correct clients finish their scripts and every
+// per-key history is linearizable. Per-run verdicts are pure functions of
+// the seed, so the aggregate inherits the engine's guarantee of being
+// bit-identical for every worker count.
+func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
+	if cfg.Pattern == nil {
+		return nil, fmt.Errorf("register: StoreSweep needs a failure pattern")
+	}
+	prog, err := StoreProgram(cfg.S, cfg.Store, cfg.Scripts)
+	if err != nil {
+		return nil, err
+	}
+	stab := cfg.Stab
+	if stab <= 0 {
+		stab = 20
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 20_000 + 2_000*int64(TotalKeyedOps(cfg.Scripts))
+	}
+	correct := cfg.Pattern.Correct()
+	clients := cfg.S.Intersect(correct)
+	if clients.IsEmpty() {
+		// Without a correct client every run stops immediately and the
+		// per-key check passes on an empty history — a sweep that verifies
+		// nothing must be a setup error, not a success.
+		return nil, fmt.Errorf("register: no correct client — S=%v is entirely crashed by %v", cfg.S, cfg.Pattern)
+	}
+	// Shared across workers: a pure read of the snapshot, no captured
+	// mutable state.
+	stopWhen := func(sn *sim.Snapshot) bool {
+		return StoreClientsDone(sn, clients)
+	}
+	return sweep.Run(sweep.Config{
+		Sim: func() sim.Config {
+			return sim.Config{
+				Pattern: cfg.Pattern,
+				// Σ_S oracles memoize boxed outputs, so every worker gets
+				// its own.
+				History:  fd.NewSigmaS(cfg.Pattern, cfg.S, stab),
+				Program:  prog,
+				MaxSteps: maxSteps,
+				StopWhen: stopWhen,
+			}
+		},
+		SeedStart: cfg.SeedStart,
+		Seeds:     cfg.Seeds,
+		Workers:   cfg.Workers,
+		Check: func(seed int64, res *sim.Result) error {
+			return VerifyStoreRun(res, correct)
+		},
+	})
+}
+
+// StoreClientsDone reports whether every client in clients ran its script to
+// completion — the stop condition of store runs (pass the correct members of
+// S; crashed clients never finish).
+func StoreClientsDone(sn *sim.Snapshot, clients dist.ProcSet) bool {
+	for set := clients; !set.IsEmpty(); {
+		p := set.Min()
+		set = set.Remove(p)
+		if node, ok := sn.Automaton(p).(*StoreNode); !ok || !node.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyStoreRun checks one finished store run end to end: every correct
+// member of S ran its script to completion, and every key's history is
+// linearizable (all registers start at 0). The run must come from a
+// StoreProgram with tracing enabled.
+func VerifyStoreRun(res *sim.Result, correct dist.ProcSet) error {
+	for _, a := range res.Automata {
+		node, ok := a.(*StoreNode)
+		if !ok || !node.s.Contains(node.self) || !correct.Contains(node.self) {
+			continue
+		}
+		if !node.Done() {
+			return fmt.Errorf("register: correct client p%d stopped at %d/%d scripted ops (%d in flight; run ended: %s)",
+				int(node.self), node.completed, len(node.script), len(node.pend), res.Reason)
+		}
+	}
+	if res.Trace == nil {
+		return fmt.Errorf("register: store verification needs the run trace (DisableTrace must be off)")
+	}
+	return CheckKeyedLinearizable(ExtractKeyedOps(res.Trace), 0)
+}

@@ -1,10 +1,30 @@
 package register
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/dist"
 )
+
+// DefaultWriteRatio is the write fraction used when a workload config leaves
+// WriteRatio negative (unset).
+const DefaultWriteRatio = 0.5
+
+// MaxOpsPerKey bounds the operations any single key receives in a generated
+// keyed workload, keeping every per-key history inside the linearizability
+// checker's 64-op budget with headroom for hand-added operations.
+const MaxOpsPerKey = 60
+
+// effectiveWriteRatio resolves the WriteRatio convention shared by both
+// generators: negative means "unset, use the default"; 0 is a genuine
+// read-only workload.
+func effectiveWriteRatio(r float64) float64 {
+	if r < 0 {
+		return DefaultWriteRatio
+	}
+	return r
+}
 
 // WorkloadConfig parameterizes the random script generator used by the
 // integration tests and benchmarks.
@@ -14,7 +34,8 @@ type WorkloadConfig struct {
 	S dist.ProcSet
 	// OpsPerClient is the script length at each member of S.
 	OpsPerClient int
-	// WriteRatio ∈ [0,1] is the fraction of writes. Default 0.5.
+	// WriteRatio ∈ [0,1] is the fraction of writes: 0 requests a read-only
+	// workload; a negative value selects DefaultWriteRatio.
 	WriteRatio float64
 	// Seed drives the generator.
 	Seed int64
@@ -25,10 +46,7 @@ type WorkloadConfig struct {
 // everyone else gets a nil script (pure replica).
 func GenerateWorkload(cfg WorkloadConfig) [][]Op {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	ratio := cfg.WriteRatio
-	if ratio == 0 {
-		ratio = 0.5
-	}
+	ratio := effectiveWriteRatio(cfg.WriteRatio)
 	scripts := make([][]Op, cfg.N)
 	for _, p := range cfg.S.Members() {
 		sc := make([]Op, 0, cfg.OpsPerClient)
@@ -46,6 +64,102 @@ func GenerateWorkload(cfg WorkloadConfig) [][]Op {
 
 // TotalOps counts the scripted operations.
 func TotalOps(scripts [][]Op) int {
+	total := 0
+	for _, sc := range scripts {
+		total += len(sc)
+	}
+	return total
+}
+
+// StoreWorkloadConfig parameterizes the keyed script generator driving the
+// register store.
+type StoreWorkloadConfig struct {
+	// N is the system size; S the store's member set (the clients).
+	N int
+	S dist.ProcSet
+	// Keys is the store's key count; OpsPerClient the script length at each
+	// member of S.
+	Keys         int
+	OpsPerClient int
+	// WriteRatio ∈ [0,1]: 0 requests a read-only workload; a negative value
+	// selects DefaultWriteRatio.
+	WriteRatio float64
+	// Skew selects the key distribution: a value > 1 draws keys from a Zipf
+	// distribution with parameter s = Skew over the key space (key 0
+	// hottest); values ≤ 1 draw keys uniformly.
+	Skew float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+// GenerateStoreWorkload builds per-process keyed scripts (index ProcID-1):
+// members of S receive a random read/write mix over the key space with
+// globally unique write values, everyone else gets a nil script. No key
+// receives more than MaxOpsPerKey operations in total — a key drawn beyond
+// that budget is deterministically redirected to the next key with spare
+// budget — so every per-key history stays checkable by
+// CheckKeyedLinearizable.
+func GenerateStoreWorkload(cfg StoreWorkloadConfig) ([][]KeyedOp, error) {
+	if cfg.Keys < 1 {
+		return nil, fmt.Errorf("register: store workload needs Keys ≥ 1, got %d", cfg.Keys)
+	}
+	if cfg.OpsPerClient < 1 {
+		return nil, fmt.Errorf("register: store workload needs OpsPerClient ≥ 1, got %d (an empty workload would vacuously pass every check)", cfg.OpsPerClient)
+	}
+	if cfg.OpsPerClient >= 1_000_000 {
+		// The p*1e6+i write-value scheme guarantees global uniqueness only
+		// below a million writes per client; beyond that, colliding values
+		// would let the checker pass non-linearizable histories.
+		return nil, fmt.Errorf("register: OpsPerClient %d exceeds the 1e6 unique-write-value budget", cfg.OpsPerClient)
+	}
+	if cfg.WriteRatio > 1 {
+		return nil, fmt.Errorf("register: WriteRatio %g outside [0,1]", cfg.WriteRatio)
+	}
+	if !cfg.S.SubsetOf(dist.FullSet(cfg.N)) {
+		return nil, fmt.Errorf("register: store members %v outside the %d-process system", cfg.S, cfg.N)
+	}
+	total := cfg.OpsPerClient * cfg.S.Len()
+	if total > cfg.Keys*MaxOpsPerKey {
+		return nil, fmt.Errorf("register: %d scripted ops exceed the per-key checker budget (%d keys × %d ops)",
+			total, cfg.Keys, MaxOpsPerKey)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ratio := effectiveWriteRatio(cfg.WriteRatio)
+	var zipf *rand.Zipf
+	if cfg.Skew > 1 && cfg.Keys > 1 {
+		zipf = rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.Keys-1))
+	}
+	perKey := make([]int, cfg.Keys)
+	scripts := make([][]KeyedOp, cfg.N)
+	for _, p := range cfg.S.Members() {
+		sc := make([]KeyedOp, 0, cfg.OpsPerClient)
+		writes := 0
+		for i := 0; i < cfg.OpsPerClient; i++ {
+			var key int
+			if zipf != nil {
+				key = int(zipf.Uint64())
+			} else {
+				key = rng.Intn(cfg.Keys)
+			}
+			for perKey[key] >= MaxOpsPerKey {
+				key = (key + 1) % cfg.Keys
+			}
+			perKey[key]++
+			op := KeyedOp{Key: key, Kind: ReadOp}
+			if rng.Float64() < ratio {
+				writes++
+				op.Kind = WriteOp
+				op.Arg = Value(int64(p)*1_000_000 + int64(writes)) // globally unique
+			}
+			sc = append(sc, op)
+		}
+		scripts[p-1] = sc
+	}
+	return scripts, nil
+}
+
+// TotalKeyedOps counts the scripted operations.
+func TotalKeyedOps(scripts [][]KeyedOp) int {
 	total := 0
 	for _, sc := range scripts {
 		total += len(sc)

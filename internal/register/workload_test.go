@@ -1,0 +1,177 @@
+package register
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestGenerateWorkloadWriteRatioZeroIsReadOnly(t *testing.T) {
+	// Regression: WriteRatio 0 used to be clobbered to the 0.5 default,
+	// making a read-only workload impossible to request.
+	scripts := GenerateWorkload(WorkloadConfig{
+		N: 5, S: dist.NewProcSet(1, 2, 3), OpsPerClient: 20, WriteRatio: 0, Seed: 4,
+	})
+	if got := TotalOps(scripts); got != 60 {
+		t.Fatalf("generated %d ops, want 60", got)
+	}
+	for pi, sc := range scripts {
+		for _, op := range sc {
+			if op.Kind != ReadOp {
+				t.Fatalf("WriteRatio 0 generated %v at p%d", op, pi+1)
+			}
+		}
+	}
+}
+
+func TestGenerateWorkloadNegativeRatioSelectsDefault(t *testing.T) {
+	scripts := GenerateWorkload(WorkloadConfig{
+		N: 4, S: dist.NewProcSet(1, 2), OpsPerClient: 40, WriteRatio: -1, Seed: 4,
+	})
+	reads, writes := 0, 0
+	for _, sc := range scripts {
+		for _, op := range sc {
+			if op.Kind == ReadOp {
+				reads++
+			} else {
+				writes++
+			}
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatalf("default ratio must mix kinds, got %d reads / %d writes", reads, writes)
+	}
+}
+
+func TestGenerateStoreWorkloadBoundsAndUniqueness(t *testing.T) {
+	s := dist.NewProcSet(1, 2, 3)
+	cfg := StoreWorkloadConfig{
+		N: 5, S: s, Keys: 6, OpsPerClient: 40, WriteRatio: -1, Skew: 2.0, Seed: 13,
+	}
+	scripts, err := GenerateStoreWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalKeyedOps(scripts); got != 120 {
+		t.Fatalf("generated %d ops, want 120", got)
+	}
+	perKey := make(map[int]int)
+	writeArgs := make(map[Value]bool)
+	writes := 0
+	for pi, sc := range scripts {
+		if len(sc) > 0 && !s.Contains(dist.ProcID(pi+1)) {
+			t.Fatalf("non-member p%d got a script", pi+1)
+		}
+		for _, op := range sc {
+			if op.Key < 0 || op.Key >= cfg.Keys {
+				t.Fatalf("key %d outside [0,%d)", op.Key, cfg.Keys)
+			}
+			perKey[op.Key]++
+			if op.Kind == WriteOp {
+				writes++
+				if writeArgs[op.Arg] {
+					t.Fatalf("duplicate write value %d", int64(op.Arg))
+				}
+				writeArgs[op.Arg] = true
+			}
+		}
+	}
+	for key, count := range perKey {
+		if count > MaxOpsPerKey {
+			t.Fatalf("key %d received %d ops, checker budget is %d", key, count, MaxOpsPerKey)
+		}
+	}
+	if writes == 0 {
+		t.Fatal("default ratio generated no writes")
+	}
+	// Zipf with s=2 concentrates on low keys: key 0 must be at least as hot
+	// as the coldest key.
+	min, max := perKey[0], perKey[0]
+	for _, c := range perKey {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if perKey[0] != max && max-min > 0 && perKey[0] == min {
+		t.Fatalf("skewed workload left key 0 coldest: %v", perKey)
+	}
+
+	// Determinism: the same config generates the same scripts.
+	again, err := GenerateStoreWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scripts, again) {
+		t.Fatal("generator is not deterministic for a fixed seed")
+	}
+}
+
+func TestGenerateStoreWorkloadReadOnly(t *testing.T) {
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: 4, S: dist.NewProcSet(1, 2), Keys: 4, OpsPerClient: 10, WriteRatio: 0, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scripts {
+		for _, op := range sc {
+			if op.Kind != ReadOp {
+				t.Fatalf("WriteRatio 0 generated %v", op)
+			}
+		}
+	}
+}
+
+func TestGenerateStoreWorkloadRejectsOverBudget(t *testing.T) {
+	// 2 clients × 70 ops on one key cannot stay within the checker budget.
+	if _, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: 3, S: dist.NewProcSet(1, 2), Keys: 1, OpsPerClient: 70, Seed: 1,
+	}); err == nil {
+		t.Fatal("over-budget workload must be rejected")
+	}
+	if _, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: 3, S: dist.NewProcSet(1, 2), Keys: 0, OpsPerClient: 1, Seed: 1,
+	}); err == nil {
+		t.Fatal("zero keys must be rejected")
+	}
+	if _, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: 3, S: dist.NewProcSet(1, 5), Keys: 2, OpsPerClient: 1, Seed: 1,
+	}); err == nil {
+		t.Fatal("members outside the system must be rejected")
+	}
+	// An empty workload would vacuously pass every check.
+	if _, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: 3, S: dist.NewProcSet(1, 2), Keys: 2, OpsPerClient: 0, Seed: 1,
+	}); err == nil {
+		t.Fatal("zero ops per client must be rejected")
+	}
+	if _, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: 3, S: dist.NewProcSet(1, 2), Keys: 2, OpsPerClient: 4, WriteRatio: 1.5, Seed: 1,
+	}); err == nil {
+		t.Fatal("WriteRatio above 1 must be rejected")
+	}
+}
+
+func TestGenerateStoreWorkloadSaturatesKeysViaRedirect(t *testing.T) {
+	// Exactly at budget: every key ends up with exactly MaxOpsPerKey ops,
+	// reachable only through the deterministic redirect.
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: 3, S: dist.NewProcSet(1, 2), Keys: 2, OpsPerClient: MaxOpsPerKey, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perKey := make(map[int]int)
+	for _, sc := range scripts {
+		for _, op := range sc {
+			perKey[op.Key]++
+		}
+	}
+	if perKey[0] != MaxOpsPerKey || perKey[1] != MaxOpsPerKey {
+		t.Fatalf("saturated workload distributed %v, want %d per key", perKey, MaxOpsPerKey)
+	}
+}

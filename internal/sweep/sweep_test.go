@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"fmt"
+	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/agreement"
@@ -102,6 +104,68 @@ func TestSweepConfigValidation(t *testing.T) {
 	mkSim, _, _ := fig2Config(3)
 	if _, err := Run(Config{Sim: mkSim, Seeds: 0}); err == nil {
 		t.Fatal("zero Seeds must be rejected")
+	}
+}
+
+func TestHistMergeEdgeCases(t *testing.T) {
+	// Empty into empty: still empty.
+	var h, empty Hist
+	h.Merge(&empty)
+	if h.Count != 0 || h.String() != "empty" {
+		t.Fatalf("empty merge changed the histogram: %+v", h)
+	}
+
+	// Merging an empty histogram into a filled one must not disturb
+	// min/max (an empty Hist's zero-valued Min would otherwise win).
+	h.Observe(5)
+	h.Observe(9)
+	h.Merge(&empty)
+	if h.Count != 2 || h.Min != 5 || h.Max != 9 || h.Sum != 14 {
+		t.Fatalf("merging empty disturbed the aggregate: %+v", h)
+	}
+
+	// Merging into an empty histogram adopts the source's min, not the
+	// destination's zero value.
+	var adopt Hist
+	adopt.Merge(&h)
+	if adopt.Count != 2 || adopt.Min != 5 || adopt.Max != 9 || adopt.Sum != 14 {
+		t.Fatalf("merge into empty lost the aggregate: %+v", adopt)
+	}
+
+	// Merging two filled histograms picks the global extremes.
+	var lo Hist
+	lo.Observe(1)
+	lo.Merge(&h)
+	if lo.Count != 3 || lo.Min != 1 || lo.Max != 9 || lo.Sum != 15 {
+		t.Fatalf("merge of filled histograms wrong: %+v", lo)
+	}
+	var bucketed int64
+	for _, c := range lo.Buckets {
+		bucketed += c
+	}
+	if bucketed != 3 {
+		t.Fatalf("buckets sum to %d after merge, want 3", bucketed)
+	}
+}
+
+func TestHistTopBucketClampAndNegatives(t *testing.T) {
+	var h Hist
+	h.Observe(1 << 40)
+	h.Observe(math.MaxInt64)
+	top := len(h.Buckets) - 1
+	if h.Buckets[top] != 2 {
+		t.Fatalf("values beyond the bucket range must clamp into the top bucket: %+v", h.Buckets)
+	}
+	if h.Min != 1<<40 || h.Max != math.MaxInt64 {
+		t.Fatalf("min/max must keep the exact values despite clamping: min=%d max=%d", h.Min, h.Max)
+	}
+	if s := h.String(); !strings.Contains(s, ":2") {
+		t.Fatalf("String must render the clamped top bucket: %q", s)
+	}
+	// Negative observations clamp to zero and land in bucket 0.
+	h.Observe(-7)
+	if h.Buckets[0] != 1 || h.Min != 0 || h.Count != 3 {
+		t.Fatalf("negative observation mishandled: %+v", h)
 	}
 }
 
