@@ -340,25 +340,32 @@ func BenchmarkABDRegister(b *testing.B) {
 	reportRun(b, steps, msgs)
 }
 
-// BenchmarkStore regenerates experiments E17 and E18 on the keyed register
+// BenchmarkStore regenerates experiments E17–E20 on the keyed register
 // store: one zipf-skewed keyed workload, completed client operations per
 // second of wall clock as the headline metric. E17 is throughput vs the
 // client pipelining window (window > 1 must strictly beat window = 1 on the
 // same seed set); E18 is the request-batching ablation (one message per
-// request instead of one batch per step), visible in msgs/op.
+// request instead of one batch per step), visible in msgs/op. E19 shards
+// the same key space across disjoint replica groups at the E17 window=8
+// operating point: replica-bytes/node must shrink with the shard count
+// (each process only replicates its own shard) while shards=1 stays within
+// noise of E17's window=8 row. E20 turns batching off on the sharded store
+// (batches coalesce per destination shard, so the ablation measures what
+// per-shard coalescing buys).
 func BenchmarkStore(b *testing.B) {
 	const n, keys, opsPerClient = 5, 12, 12
 	f := dist.NewFailurePattern(n)
 	s := dist.RangeSet(1, 3)
-	scripts, err := register.GenerateStoreWorkload(register.StoreWorkloadConfig{
-		N: n, S: s, Keys: keys, OpsPerClient: opsPerClient, WriteRatio: -1, Skew: 1.3, Seed: 42,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	total := register.TotalKeyedOps(scripts)
-	run := func(b *testing.B, cfg register.StoreConfig) {
-		prog, err := register.StoreProgram(s, cfg, scripts)
+	run := func(b *testing.B, cfg register.StoreConfig, wlShards int) {
+		scripts, err := register.GenerateStoreWorkload(register.StoreWorkloadConfig{
+			N: n, S: s, Keys: keys, Shards: wlShards, OpsPerClient: opsPerClient,
+			WriteRatio: -1, Skew: 1.3, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := register.TotalKeyedOps(scripts)
+		prog, err := register.StoreProgram(n, s, cfg, scripts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -369,7 +376,7 @@ func BenchmarkStore(b *testing.B) {
 				return register.StoreClientsDone(sn, s)
 			},
 		})
-		var steps, msgs, completed int64
+		var steps, msgs, completed, replicaBytes int64
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -378,9 +385,11 @@ func BenchmarkStore(b *testing.B) {
 				b.Fatal(err)
 			}
 			done := 0
+			replicaBytes = 0
 			for _, a := range res.Automata {
 				if node, ok := a.(*register.StoreNode); ok {
 					done += node.CompletedOps()
+					replicaBytes += int64(node.ReplicaStateBytes())
 				}
 			}
 			if done != total {
@@ -392,17 +401,29 @@ func BenchmarkStore(b *testing.B) {
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
+		b.ReportMetric(float64(replicaBytes)/float64(n), "replica-B/node")
 		reportRun(b, steps, msgs)
 	}
 	// E17: throughput vs pipelining window.
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(benchName("window", w), func(b *testing.B) {
-			run(b, register.StoreConfig{Keys: keys, Window: w})
+			run(b, register.StoreConfig{Keys: keys, Window: w}, 0)
 		})
 	}
 	// E18: batching off at the widest window.
 	b.Run("window=8-nobatch", func(b *testing.B) {
-		run(b, register.StoreConfig{Keys: keys, Window: 8, DisableBatching: true})
+		run(b, register.StoreConfig{Keys: keys, Window: 8, DisableBatching: true}, 0)
+	})
+	// E19: replica state and throughput vs shard count at window=8
+	// (shards=1 doubles as the E17 window=8 parity check).
+	for _, sc := range []int{1, 2, 4} {
+		b.Run(benchName("shards", sc), func(b *testing.B) {
+			run(b, register.StoreConfig{Keys: keys, Shards: sc, Window: 8}, sc)
+		})
+	}
+	// E20: the batching ablation on the sharded store.
+	b.Run("shards=4-nobatch", func(b *testing.B) {
+		run(b, register.StoreConfig{Keys: keys, Shards: 4, Window: 8, DisableBatching: true}, 4)
 	})
 }
 

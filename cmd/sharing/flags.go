@@ -1,0 +1,133 @@
+// Shared flag-parsing and validation helpers for the sharing subcommands.
+// Every subcommand turns user-supplied flags into simulator configuration
+// through these functions, so malformed input becomes a clear error instead
+// of a panic deep inside dist (which treats bad arguments as programmer
+// error) — and the boilerplate lives in one tested place instead of being
+// repeated per subcommand.
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/register"
+)
+
+// newPattern validates a user-supplied system size before handing it to
+// dist (which panics on programmer error, not user input).
+func newPattern(n int) (*dist.FailurePattern, error) {
+	if n < 1 || n > dist.MaxProcs {
+		return nil, fmt.Errorf("-n %d outside 1..%d", n, dist.MaxProcs)
+	}
+	return dist.NewFailurePattern(n), nil
+}
+
+// crashPattern builds the failure pattern for an n-process system with the
+// -crash list applied — the combination every run-style subcommand starts
+// from.
+func crashPattern(n int, spec string) (*dist.FailurePattern, error) {
+	f, err := newPattern(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := parseCrash(f, spec); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// parseCrash applies a crash list to the pattern. Entries are comma-
+// separated; each is a process number with an optional crash time:
+// "3,4" crashes p3 and p4 at time 0, "3@40,4" crashes p3 at time 40 and p4
+// at time 0.
+func parseCrash(f *dist.FailurePattern, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	var seen dist.ProcSet
+	for _, entry := range strings.Split(spec, ",") {
+		procPart, timePart, timed := strings.Cut(strings.TrimSpace(entry), "@")
+		p, err := strconv.Atoi(procPart)
+		if err != nil {
+			return fmt.Errorf("bad -crash list %q: entry %q: process must be a number", spec, entry)
+		}
+		if p < 1 || p > f.N() {
+			return fmt.Errorf("-crash process p%d outside 1..%d", p, f.N())
+		}
+		if seen.Contains(dist.ProcID(p)) {
+			return fmt.Errorf("bad -crash list %q: p%d appears twice (a process crashes at most once)", spec, p)
+		}
+		seen = seen.Add(dist.ProcID(p))
+		t := int64(0)
+		if timed {
+			t, err = strconv.ParseInt(timePart, 10, 64)
+			if err != nil || t < 0 {
+				return fmt.Errorf("bad -crash list %q: entry %q: time must be a non-negative number", spec, entry)
+			}
+		}
+		f.CrashAt(dist.ProcID(p), dist.Time(t))
+	}
+	if !f.InEnvironment() {
+		return fmt.Errorf("-crash list kills every process")
+	}
+	return nil
+}
+
+// parseShardCrash applies a -crashshard spec to the pattern: "1" crashes
+// every member of shard 1's replica group at time 0, "1@40" at time 40 —
+// the whole-group failure that makes exactly one shard unavailable. A
+// member already crashed by -crash is rejected rather than silently
+// re-timed.
+func parseShardCrash(f *dist.FailurePattern, m *register.ShardMap, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	shardPart, timePart, timed := strings.Cut(strings.TrimSpace(spec), "@")
+	sh, err := strconv.Atoi(shardPart)
+	if err != nil {
+		return fmt.Errorf("bad -crashshard %q: shard must be a number", spec)
+	}
+	if sh < 0 || sh >= m.Shards() {
+		return fmt.Errorf("-crashshard shard %d outside 0..%d", sh, m.Shards()-1)
+	}
+	t := int64(0)
+	if timed {
+		t, err = strconv.ParseInt(timePart, 10, 64)
+		if err != nil || t < 0 {
+			return fmt.Errorf("bad -crashshard %q: time must be a non-negative number", spec)
+		}
+	}
+	for _, p := range m.Group(sh).Members() {
+		if f.CrashTime(p) != dist.NoCrash {
+			return fmt.Errorf("-crashshard %d: p%d already crashed by -crash (a process crashes at most once)", sh, int(p))
+		}
+		f.CrashAt(p, dist.Time(t))
+	}
+	if !f.InEnvironment() {
+		return fmt.Errorf("-crashshard %d kills every process", sh)
+	}
+	return nil
+}
+
+// clientSet validates -clients and returns the store member set
+// S = {p1..pClients}.
+func clientSet(n, clients int) (dist.ProcSet, error) {
+	if clients < 1 || clients > n {
+		return 0, fmt.Errorf("-clients %d outside 1..%d", clients, n)
+	}
+	return dist.RangeSet(1, dist.ProcID(clients)), nil
+}
+
+// activeSet validates -k against the system size and returns the 2k-process
+// active set {p1..p2k} that the σ₂ₖ constructions use.
+func activeSet(n, k int) (dist.ProcSet, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("-k %d must be at least 1", k)
+	}
+	if 2*k > n {
+		return 0, fmt.Errorf("need 2k ≤ n, got k=%d n=%d", k, n)
+	}
+	return dist.RangeSet(1, dist.ProcID(2*k)), nil
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/register"
+)
+
+func TestNewPatternBounds(t *testing.T) {
+	for _, bad := range []int{0, -1, dist.MaxProcs + 1} {
+		if _, err := newPattern(bad); err == nil {
+			t.Fatalf("n=%d accepted", bad)
+		}
+	}
+	f, err := newPattern(5)
+	if err != nil || f.N() != 5 {
+		t.Fatalf("newPattern(5) = %v, %v", f, err)
+	}
+}
+
+func TestCrashPatternCombinesValidation(t *testing.T) {
+	f, err := crashPattern(5, "3@40,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CrashTime(3) != 40 || f.CrashTime(4) != 0 {
+		t.Fatalf("crash times %d/%d", int64(f.CrashTime(3)), int64(f.CrashTime(4)))
+	}
+	if _, err := crashPattern(0, ""); err == nil {
+		t.Fatal("bad n must fail")
+	}
+	if _, err := crashPattern(3, "7"); err == nil {
+		t.Fatal("bad crash list must fail")
+	}
+}
+
+func TestParseCrashSpec(t *testing.T) {
+	newF := func() *dist.FailurePattern { return dist.NewFailurePattern(5) }
+
+	f := newF()
+	if err := parseCrash(f, "3@40,4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.CrashTime(3); got != 40 {
+		t.Fatalf("p3 crash time %d, want 40", int64(got))
+	}
+	if got := f.CrashTime(4); got != 0 {
+		t.Fatalf("p4 crash time %d, want 0", int64(got))
+	}
+	if f.CrashTime(1) != dist.NoCrash || f.CrashTime(5) != dist.NoCrash {
+		t.Fatal("uncrashed processes must stay correct")
+	}
+
+	f = newF()
+	if err := parseCrash(f, " 2 , 5@7 "); err != nil {
+		t.Fatalf("spaces around entries must be accepted: %v", err)
+	}
+	if f.CrashTime(2) != 0 || f.CrashTime(5) != 7 {
+		t.Fatalf("got crash times %d, %d", int64(f.CrashTime(2)), int64(f.CrashTime(5)))
+	}
+
+	for _, bad := range []string{"x", "3@", "3@x", "3@-1", "@4", "0", "6", "3,,4", "3@1@2"} {
+		if err := parseCrash(newF(), bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+
+	// Duplicate process entries must be rejected instead of silently
+	// registering two crash events for one process.
+	for _, dup := range []string{"3,3", "3,3@40", "2@10,2@20", "1, 1"} {
+		err := parseCrash(newF(), dup)
+		if err == nil || !strings.Contains(err.Error(), "twice") {
+			t.Fatalf("duplicate spec %q: err=%v", dup, err)
+		}
+	}
+
+	// Timed crashes alone must not trip the kills-everyone guard: a process
+	// crashing at t > 0 is still faulty.
+	if err := parseCrash(newF(), "1,2,3,4,5@100"); err == nil {
+		t.Fatal("crashing every process (even late) must be rejected")
+	}
+}
+
+func TestParseShardCrash(t *testing.T) {
+	m, err := register.NewShardMap(6, 6, 3) // groups {1,4} {2,5} {3,6}
+	if err != nil {
+		t.Fatal(err)
+	}
+	newF := func() *dist.FailurePattern { return dist.NewFailurePattern(6) }
+
+	f := newF()
+	if err := parseShardCrash(f, m, "1@40"); err != nil {
+		t.Fatal(err)
+	}
+	if f.CrashTime(2) != 40 || f.CrashTime(5) != 40 {
+		t.Fatalf("shard 1 group crash times %d/%d, want 40/40",
+			int64(f.CrashTime(2)), int64(f.CrashTime(5)))
+	}
+	if f.Correct() != dist.NewProcSet(1, 3, 4, 6) {
+		t.Fatalf("correct set %v after shard crash", f.Correct())
+	}
+
+	f = newF()
+	if err := parseShardCrash(f, m, ""); err != nil || !f.Faulty().IsEmpty() {
+		t.Fatalf("empty spec must be a no-op: %v %v", err, f.Faulty())
+	}
+	if err := parseShardCrash(newF(), m, "0"); err != nil {
+		t.Fatalf("time-0 group crash rejected: %v", err)
+	}
+
+	for _, bad := range []string{"x", "3", "-1", "1@x", "1@-2", "1@2@3"} {
+		if err := parseShardCrash(newF(), m, bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+
+	// Overlap with -crash: a group member already crashed is an error, not
+	// a silent re-time.
+	f = newF()
+	if err := parseCrash(f, "5@10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := parseShardCrash(f, m, "1"); err == nil || !strings.Contains(err.Error(), "already crashed") {
+		t.Fatalf("overlapping crash specs: err=%v", err)
+	}
+
+	// Killing the last alive processes must trip the environment guard.
+	two, err := register.NewShardMap(2, 2, 1) // one shard, group {1,2}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parseShardCrash(dist.NewFailurePattern(2), two, "0"); err == nil {
+		t.Fatal("crashing the only group of a 2-process system must be rejected")
+	}
+}
+
+func TestClientSet(t *testing.T) {
+	s, err := clientSet(5, 3)
+	if err != nil || s != dist.RangeSet(1, 3) {
+		t.Fatalf("clientSet(5,3) = %v, %v", s, err)
+	}
+	for _, bad := range []int{0, -1, 6} {
+		if _, err := clientSet(5, bad); err == nil {
+			t.Fatalf("clients=%d accepted", bad)
+		}
+	}
+}
+
+func TestActiveSet(t *testing.T) {
+	s, err := activeSet(6, 2)
+	if err != nil || s != dist.RangeSet(1, 4) {
+		t.Fatalf("activeSet(6,2) = %v, %v", s, err)
+	}
+	for _, bad := range [][2]int{{6, 0}, {6, -1}, {5, 3}} {
+		if _, err := activeSet(bad[0], bad[1]); err == nil {
+			t.Fatalf("activeSet(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+}

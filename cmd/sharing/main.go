@@ -18,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -89,8 +88,9 @@ subcommands:
   setagreement    -n 5 -seed 1 -crash "3,4"
   kset            -n 6 -k 2 -seed 1 -crash "5"
   register        -n 5 -seed 1
-  store           -n 5 -keys 16 -clients 3 -window 4 -ops 16 -seeds 20
-                  -workers 0 -skew 1.2 -write 0.5 -crash "5@40" -nobatch
+  store           -n 5 -keys 16 -shards 1 -clients 3 -window 4 -ops 16
+                  -seeds 20 -workers 0 -skew 1.2 -write 0.5 -crash "5@40"
+                  -crashshard "1@40" -nobatch
   consensus       -n 5 -seed 1 -crash "5"
   counterexample  lemma7|lemma11|lemma15|tightness  [-n 5 -k 2 -seed 1]
   emulate         fig3|fig5|fig6  [-n 5 -seed 1]
@@ -136,11 +136,8 @@ func cmdExplore(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f, err := newPattern(*n)
+	f, err := crashPattern(*n, *crash)
 	if err != nil {
-		return err
-	}
-	if err := parseCrash(f, *crash); err != nil {
 		return err
 	}
 	props := agreement.DistinctProposals(*n)
@@ -161,10 +158,11 @@ func cmdExplore(args []string) error {
 		cfg.History, cfg.Program = oracle, core.Fig2Program(props)
 		taskK = *n - 1
 	case "fig4":
-		if 2**k > *n {
-			return fmt.Errorf("need 2k ≤ n")
+		active, err := activeSet(*n, *k)
+		if err != nil {
+			return err
 		}
-		oracle, err := core.NewSigmaKOracle(f, dist.RangeSet(1, dist.ProcID(2**k)), 1, core.SigmaKCanonical)
+		oracle, err := core.NewSigmaKOracle(f, active, 1, core.SigmaKCanonical)
 		if err != nil {
 			return err
 		}
@@ -210,11 +208,8 @@ func cmdSweep(args []string) error {
 	}
 	props := agreement.DistinctProposals(*n)
 	for _, spec := range specs {
-		f, err := newPattern(*n)
+		f, err := crashPattern(*n, spec)
 		if err != nil {
-			return err
-		}
-		if err := parseCrash(f, spec); err != nil {
 			return err
 		}
 		var mkSim func() sim.Config
@@ -233,10 +228,11 @@ func cmdSweep(args []string) error {
 			}
 			taskK = *n - 1
 		case "fig4":
-			if 2**k > *n {
-				return fmt.Errorf("need 2k ≤ n")
+			active, err := activeSet(*n, *k)
+			if err != nil {
+				return err
 			}
-			oracle, err := core.NewSigmaKOracle(f, dist.RangeSet(1, dist.ProcID(2**k)), 20, core.SigmaKCanonical)
+			oracle, err := core.NewSigmaKOracle(f, active, 20, core.SigmaKCanonical)
 			if err != nil {
 				return err
 			}
@@ -292,52 +288,6 @@ func cmdSweep(args []string) error {
 	return nil
 }
 
-// newPattern validates a user-supplied system size before handing it to
-// dist (which panics on programmer error, not user input).
-func newPattern(n int) (*dist.FailurePattern, error) {
-	if n < 1 || n > dist.MaxProcs {
-		return nil, fmt.Errorf("-n %d outside 1..%d", n, dist.MaxProcs)
-	}
-	return dist.NewFailurePattern(n), nil
-}
-
-// parseCrash applies a crash list to the pattern. Entries are comma-
-// separated; each is a process number with an optional crash time:
-// "3,4" crashes p3 and p4 at time 0, "3@40,4" crashes p3 at time 40 and p4
-// at time 0.
-func parseCrash(f *dist.FailurePattern, spec string) error {
-	if spec == "" {
-		return nil
-	}
-	var seen dist.ProcSet
-	for _, entry := range strings.Split(spec, ",") {
-		procPart, timePart, timed := strings.Cut(strings.TrimSpace(entry), "@")
-		p, err := strconv.Atoi(procPart)
-		if err != nil {
-			return fmt.Errorf("bad -crash list %q: entry %q: process must be a number", spec, entry)
-		}
-		if p < 1 || p > f.N() {
-			return fmt.Errorf("-crash process p%d outside 1..%d", p, f.N())
-		}
-		if seen.Contains(dist.ProcID(p)) {
-			return fmt.Errorf("bad -crash list %q: p%d appears twice (a process crashes at most once)", spec, p)
-		}
-		seen = seen.Add(dist.ProcID(p))
-		t := int64(0)
-		if timed {
-			t, err = strconv.ParseInt(timePart, 10, 64)
-			if err != nil || t < 0 {
-				return fmt.Errorf("bad -crash list %q: entry %q: time must be a non-negative number", spec, entry)
-			}
-		}
-		f.CrashAt(dist.ProcID(p), dist.Time(t))
-	}
-	if !f.InEnvironment() {
-		return fmt.Errorf("-crash list kills every process")
-	}
-	return nil
-}
-
 func cmdLattice(args []string) error {
 	fs := flag.NewFlagSet("lattice", flag.ContinueOnError)
 	n := fs.Int("n", 6, "system size")
@@ -363,11 +313,8 @@ func cmdSetAgreement(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f, err := newPattern(*n)
+	f, err := crashPattern(*n, *crash)
 	if err != nil {
-		return err
-	}
-	if err := parseCrash(f, *crash); err != nil {
 		return err
 	}
 	props := agreement.DistinctProposals(*n)
@@ -397,18 +344,15 @@ func cmdKSet(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f, err := newPattern(*n)
+	f, err := crashPattern(*n, *crash)
 	if err != nil {
 		return err
 	}
-	if err := parseCrash(f, *crash); err != nil {
+	active, err := activeSet(*n, *k)
+	if err != nil {
 		return err
 	}
-	if 2**k > *n {
-		return fmt.Errorf("need 2k ≤ n")
-	}
 	props := agreement.DistinctProposals(*n)
-	active := dist.RangeSet(1, dist.ProcID(2**k))
 	oracle, err := core.NewSigmaKOracle(f, active, 20, core.SigmaKCanonical)
 	if err != nil {
 		return err
@@ -471,40 +415,50 @@ func cmdRegister(args []string) error {
 	return nil
 }
 
-// cmdStore sweeps the keyed register store: a zipf-skewed keyed workload on
-// pipelined store clients, one run per scheduler seed on the sweep engine,
-// every per-key history checked for linearizability.
+// cmdStore sweeps the sharded keyed register store: a zipf-skewed keyed
+// workload on pipelined store clients routed across -shards replica groups,
+// one run per scheduler seed on the sweep engine, every per-key history
+// checked for linearizability. -crashshard kills one shard's whole replica
+// group; the sweep verdict then demands that only that shard's operations
+// stall.
 func cmdStore(args []string) error {
 	fs := flag.NewFlagSet("store", flag.ContinueOnError)
 	n := fs.Int("n", 5, "system size")
 	keys := fs.Int("keys", 16, "number of keyed registers")
+	shards := fs.Int("shards", 1, "replica-group shards the key space is partitioned across")
 	clients := fs.Int("clients", 3, "store members: S = {p1..pClients}")
-	window := fs.Int("window", 4, "client pipelining window (outstanding ops on distinct keys)")
+	window := fs.Int("window", 4, "client pipelining window per shard (outstanding ops on distinct keys)")
 	ops := fs.Int("ops", 16, "scripted ops per client")
 	seeds := fs.Int64("seeds", 20, "scheduler seeds to sweep")
 	seedStart := fs.Int64("seed", 0, "first scheduler seed")
 	wseed := fs.Int64("wseed", 1, "workload generator seed")
 	workers := fs.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
 	crash := fs.String("crash", "", "crash list, e.g. \"5,4@40\"")
-	skew := fs.Float64("skew", 1.2, "zipf skew over keys (≤1 = uniform)")
+	crashShard := fs.String("crashshard", "", "crash a whole shard's replica group, e.g. \"1\" or \"1@40\"")
+	skew := fs.Float64("skew", 1.2, "zipf skew within each shard's keys (0 = uniform)")
 	write := fs.Float64("write", register.DefaultWriteRatio, "write ratio (0 = read-only)")
 	nobatch := fs.Bool("nobatch", false, "disable request batching (one message per request)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f, err := newPattern(*n)
+	f, err := crashPattern(*n, *crash)
 	if err != nil {
 		return err
 	}
-	if *clients < 1 || *clients > *n {
-		return fmt.Errorf("store: -clients %d outside 1..%d", *clients, *n)
-	}
-	if err := parseCrash(f, *crash); err != nil {
+	s, err := clientSet(*n, *clients)
+	if err != nil {
 		return err
 	}
-	s := dist.RangeSet(1, dist.ProcID(*clients))
+	storeCfg := register.StoreConfig{Keys: *keys, Shards: *shards, Window: *window, DisableBatching: *nobatch}
+	shardMap, err := storeCfg.ShardMap(*n) // validates the whole store config
+	if err != nil {
+		return err
+	}
+	if err := parseShardCrash(f, shardMap, *crashShard); err != nil {
+		return err
+	}
 	scripts, err := register.GenerateStoreWorkload(register.StoreWorkloadConfig{
-		N: *n, S: s, Keys: *keys, OpsPerClient: *ops,
+		N: *n, S: s, Keys: *keys, Shards: *shards, OpsPerClient: *ops,
 		WriteRatio: *write, Skew: *skew, Seed: *wseed,
 	})
 	if err != nil {
@@ -514,7 +468,7 @@ func cmdStore(args []string) error {
 	res, err := register.StoreSweep(register.StoreSweepConfig{
 		Pattern:   f,
 		S:         s,
-		Store:     register.StoreConfig{Keys: *keys, Window: *window, DisableBatching: *nobatch},
+		Store:     storeCfg,
 		Scripts:   scripts,
 		SeedStart: *seedStart,
 		Seeds:     *seeds,
@@ -524,16 +478,30 @@ func cmdStore(args []string) error {
 		return err
 	}
 	elapsed := time.Since(start)
-	// Throughput counts only correct clients' scripted ops — those are
-	// guaranteed complete by the per-run verification; a crashed client
-	// finishes an unknown prefix of its script, which would inflate the
-	// headline number.
+	// Throughput counts only correct clients' ops on available shards —
+	// those are guaranteed complete by the per-run verification; a crashed
+	// client finishes an unknown prefix, and an op routed to a dead shard
+	// never completes, either of which would inflate the headline number.
+	avail := shardMap.Available(f.Correct())
 	opsPerRun := int64(0)
 	for _, p := range s.Intersect(f.Correct()).Members() {
-		opsPerRun += int64(len(scripts[p-1]))
+		for _, op := range scripts[p-1] {
+			if avail&(1<<uint(shardMap.Shard(op.Key))) != 0 {
+				opsPerRun++
+			}
+		}
 	}
-	fmt.Printf("store on %v, S=%v, keys=%d window=%d batching=%v: %d runs × %d scripted ops (%d at correct clients)\n",
-		f, s, *keys, *window, !*nobatch, res.Runs, register.TotalKeyedOps(scripts), opsPerRun)
+	fmt.Printf("store on %v, S=%v, keys=%d shards=%d window=%d batching=%v: %d runs × %d scripted ops (%d guaranteed at correct clients)\n",
+		f, s, *keys, shardMap.Shards(), *window, !*nobatch, res.Runs, register.TotalKeyedOps(scripts), opsPerRun)
+	if shardMap.Shards() > 1 || *crashShard != "" {
+		fmt.Printf("  layout: %s\n", shardMap)
+		for sh := 0; sh < shardMap.Shards(); sh++ {
+			if avail&(1<<uint(sh)) == 0 {
+				fmt.Printf("  shard %d unavailable: group %v fully crashed (its ops cannot complete; other shards must)\n",
+					sh, shardMap.Group(sh))
+			}
+		}
+	}
 	fmt.Printf("  steps: %s\n  msgs:  %s\n", res.Steps.String(), res.Msgs.String())
 	passed := res.Runs - res.Failures // completion is only guaranteed for runs that passed verification
 	fmt.Printf("  %d completed ops in %v (%.0f ops/sec, %.0f runs/sec)\n",
@@ -555,11 +523,8 @@ func cmdConsensus(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f, err := newPattern(*n)
+	f, err := crashPattern(*n, *crash)
 	if err != nil {
-		return err
-	}
-	if err := parseCrash(f, *crash); err != nil {
 		return err
 	}
 	props := agreement.DistinctProposals(*n)

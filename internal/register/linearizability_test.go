@@ -1,10 +1,12 @@
 package register
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/dist"
+	"repro/internal/trace"
 )
 
 func w(p dist.ProcID, arg Value, inv, ret dist.Time) OpRecord {
@@ -116,6 +118,101 @@ func TestLinearizableTooManyOps(t *testing.T) {
 	}
 	if _, err := CheckLinearizable(ops, 0); err == nil {
 		t.Fatal("expected size-limit error")
+	}
+}
+
+// storeTrace builds a trace of keyed Invoke/Return events for the extractor
+// error-path tests.
+func storeTrace(events ...trace.Event) *trace.Trace {
+	tr := &trace.Trace{}
+	for _, e := range events {
+		tr.Append(e)
+	}
+	return tr
+}
+
+func inv(p dist.ProcID, seq int64, t dist.Time, key int, kind OpKind, arg Value) trace.Event {
+	return trace.Event{Kind: trace.InvokeKind, P: p, Seq: seq, T: t,
+		Payload: KeyedOpDesc{Key: key, Kind: kind, Arg: arg}}
+}
+
+func ret(p dist.ProcID, seq int64, t dist.Time, key int, kind OpKind, retV Value) trace.Event {
+	return trace.Event{Kind: trace.ReturnKind, P: p, Seq: seq, T: t,
+		Payload: KeyedOpDesc{Key: key, Kind: kind, Ret: retV}}
+}
+
+func TestExtractKeyedOpsMismatchedPairs(t *testing.T) {
+	tr := storeTrace(
+		inv(1, 1, 0, 3, WriteOp, 7),
+		// Return without a matching Invoke (unknown seq): must be ignored,
+		// not panic or invent a record.
+		ret(2, 99, 1, 3, ReadOp, 7),
+		// Invoke without a Return: an incomplete op.
+		inv(2, 1, 2, 3, ReadOp, 0),
+		ret(1, 1, 3, 3, WriteOp, 0),
+	)
+	byKey := ExtractKeyedOps(tr)
+	if len(byKey) != 1 || len(byKey[3]) != 2 {
+		t.Fatalf("extracted %v, want 2 ops on key 3", byKey)
+	}
+	var complete, pending int
+	for _, o := range byKey[3] {
+		if o.Complete {
+			complete++
+		} else {
+			pending++
+		}
+	}
+	if complete != 1 || pending != 1 {
+		t.Fatalf("got %d complete / %d pending, want 1/1: %v", complete, pending, byKey[3])
+	}
+	// The orphaned Return must not have completed p2's read.
+	if err := CheckKeyedLinearizable(byKey, 0); err != nil {
+		t.Fatalf("history with a pending read must pass: %v", err)
+	}
+}
+
+func TestCheckKeyedLinearizableNeverWrittenKey(t *testing.T) {
+	// A read returning a value never written to its key fails that key
+	// even though another key holds the value.
+	tr := storeTrace(
+		inv(1, 1, 0, 0, WriteOp, 42),
+		ret(1, 1, 1, 0, WriteOp, 0),
+		inv(2, 1, 2, 5, ReadOp, 0),
+		ret(2, 1, 3, 5, ReadOp, 42),
+	)
+	err := CheckKeyedLinearizable(ExtractKeyedOps(tr), 0)
+	if err == nil {
+		t.Fatal("read of a never-written key must fail")
+	}
+	if !strings.Contains(err.Error(), "key 5") {
+		t.Fatalf("failure must name key 5: %v", err)
+	}
+}
+
+func TestCheckKeyedLinearizableOpBudgetBoundary(t *testing.T) {
+	// Exactly 64 ops on one key is checkable; 65 must surface the
+	// checker's budget error, wrapped with the key.
+	mk := func(n int) map[int][]OpRecord {
+		ops := make([]OpRecord, n)
+		for i := range ops {
+			ops[i] = r(1, 0, dist.Time(2*i), dist.Time(2*i+1))
+		}
+		return map[int][]OpRecord{7: ops}
+	}
+	if err := CheckKeyedLinearizable(mk(64), 0); err != nil {
+		t.Fatalf("64-op history must check: %v", err)
+	}
+	err := CheckKeyedLinearizable(mk(65), 0)
+	if err == nil {
+		t.Fatal("65-op history must exceed the checker budget")
+	}
+	if !strings.Contains(err.Error(), "key 7") || !strings.Contains(err.Error(), "64-op limit") {
+		t.Fatalf("budget error must name the key and the limit: %v", err)
+	}
+	// MaxOpsPerKey keeps generated workloads strictly inside the budget.
+	if MaxOpsPerKey > 64 {
+		t.Fatalf("MaxOpsPerKey %d exceeds the checker's 64-op budget", MaxOpsPerKey)
 	}
 }
 

@@ -1,0 +1,127 @@
+package register
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestShardMapStriping(t *testing.T) {
+	m, err := NewShardMap(6, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 3 || m.Keys() != 10 {
+		t.Fatalf("map is %s", m)
+	}
+	// Every key lands on exactly one shard with a dense local index.
+	seen := make(map[[2]int]bool)
+	counts := make([]int, m.Shards())
+	for k := 0; k < m.Keys(); k++ {
+		sh, loc := m.Shard(k), m.Local(k)
+		if sh < 0 || sh >= m.Shards() {
+			t.Fatalf("key %d on shard %d", k, sh)
+		}
+		if loc < 0 || loc >= m.KeysIn(sh) {
+			t.Fatalf("key %d local index %d outside [0,%d)", k, loc, m.KeysIn(sh))
+		}
+		if seen[[2]int{sh, loc}] {
+			t.Fatalf("key %d collides at (%d,%d)", k, sh, loc)
+		}
+		seen[[2]int{sh, loc}] = true
+		counts[sh]++
+	}
+	total := 0
+	for sh, c := range counts {
+		if c != m.KeysIn(sh) {
+			t.Fatalf("shard %d holds %d keys, KeysIn says %d", sh, c, m.KeysIn(sh))
+		}
+		total += c
+	}
+	if total != m.Keys() {
+		t.Fatalf("shards cover %d keys, want %d", total, m.Keys())
+	}
+}
+
+func TestShardMapGroupsPartitionPi(t *testing.T) {
+	const n = 7
+	m, err := NewShardMap(n, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var union dist.ProcSet
+	for sh := 0; sh < m.Shards(); sh++ {
+		g := m.Group(sh)
+		if g.IsEmpty() {
+			t.Fatalf("shard %d group empty", sh)
+		}
+		if g.Intersects(union) {
+			t.Fatalf("shard %d group %v overlaps an earlier group", sh, g)
+		}
+		union = union.Union(g)
+		for _, p := range g.Members() {
+			if !m.Owns(p, sh) {
+				t.Fatalf("p%d not reported as owner of shard %d", int(p), sh)
+			}
+		}
+	}
+	if union != dist.FullSet(n) {
+		t.Fatalf("groups cover %v, want all of Π", union)
+	}
+}
+
+func TestShardMapAvailable(t *testing.T) {
+	m, err := NewShardMap(6, 6, 3) // groups {1,4} {2,5} {3,6}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Available(dist.FullSet(6)); got != 0b111 {
+		t.Fatalf("all-correct availability %b, want 111", got)
+	}
+	// Crash shard 1's whole group: only its bit drops.
+	correct := dist.FullSet(6).Remove(2).Remove(5)
+	if got := m.Available(correct); got != 0b101 {
+		t.Fatalf("availability %b, want 101", got)
+	}
+	// Losing one member of a group keeps the shard available.
+	if got := m.Available(dist.FullSet(6).Remove(4)); got != 0b111 {
+		t.Fatalf("availability %b after one replica loss, want 111", got)
+	}
+	if got := m.Available(0); got != 0 {
+		t.Fatalf("availability %b with nothing correct", got)
+	}
+}
+
+func TestShardMapConstructionErrors(t *testing.T) {
+	cases := []struct {
+		name            string
+		n, keys, shards int
+	}{
+		{"zero shards", 4, 8, 0},
+		{"negative shards", 4, 8, -1},
+		{"more shards than keys", 4, 2, 3},
+		{"more shards than procs", 2, 8, 3},
+		{"zero keys", 4, 0, 1},
+		{"zero procs", 0, 4, 1},
+		{"too many procs", dist.MaxProcs + 1, 4, 1},
+	}
+	for _, tc := range cases {
+		if _, err := NewShardMap(tc.n, tc.keys, tc.shards); err == nil {
+			t.Fatalf("%s: NewShardMap(%d,%d,%d) must fail", tc.name, tc.n, tc.keys, tc.shards)
+		}
+	}
+	if _, err := NewShardMapWithGroups(4, 4, []dist.ProcSet{dist.NewProcSet(1, 2), 0}); err == nil {
+		t.Fatal("empty group must be rejected")
+	}
+	if _, err := NewShardMapWithGroups(4, 4, []dist.ProcSet{dist.NewProcSet(1, 5)}); err == nil {
+		t.Fatal("group outside Π must be rejected")
+	}
+	// Overlapping custom groups are legal (shared replicas).
+	m, err := NewShardMapWithGroups(4, 4, []dist.ProcSet{dist.NewProcSet(1, 2), dist.NewProcSet(2, 3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Owns(2, 0) || !m.Owns(2, 1) {
+		t.Fatal("p2 must own both overlapping shards")
+	}
+}

@@ -2,6 +2,7 @@ package register
 
 import (
 	"fmt"
+	"unsafe"
 
 	"repro/internal/dist"
 	"repro/internal/fd"
@@ -33,10 +34,12 @@ type KeyedOpDesc struct {
 }
 
 // Store protocol messages. Every request or reply is an entry correlated by
-// (Key, RID); all entries ready in one step and bound for the same
-// destination travel in a single batch payload. With batching disabled
+// (Key, RID). All entries ready in one step that are bound for the same
+// destination *and the same shard* travel in a single batch payload — with
+// disjoint replica groups that is simply "per destination", and a request
+// never reaches a process outside its shard's group. With batching disabled
 // (StoreConfig.DisableBatching) each batch carries exactly one entry — the
-// E18 ablation, which pays one message per request.
+// E18/E20 ablation, which pays one message per request.
 type (
 	queryEntry struct {
 		Key int
@@ -66,16 +69,23 @@ type (
 
 // StoreConfig parameterizes the keyed register store.
 type StoreConfig struct {
-	// Keys is the number of independent S-registers multiplexed by every
-	// store node; keys are the dense indices 0..Keys-1.
+	// Keys is the number of independent S-registers served by the store;
+	// keys are the dense indices 0..Keys-1.
 	Keys int
-	// Window is the client pipelining depth: how many operations a client
-	// may have outstanding at once, always on distinct keys (an op whose
-	// key is already in flight waits, preserving per-key program order).
-	// 0 or 1 disables pipelining.
+	// Shards partitions the key space across disjoint replica groups (key k
+	// belongs to shard k mod Shards; process p replicates shard (p-1) mod
+	// Shards). 0 or 1 keeps a single shard replicated by every process —
+	// the pre-sharding store.
+	Shards int
+	// Window is the client pipelining depth per destination shard: how many
+	// operations a client may have outstanding at once toward one shard,
+	// always on distinct keys (an op whose key is already in flight waits,
+	// preserving per-key program order; an op whose shard's window is full
+	// waits without blocking other shards). 0 or 1 disables pipelining.
 	Window int
 	// DisableBatching sends one request per message instead of coalescing
-	// all same-destination requests of a step into one batch (E18).
+	// all same-shard same-destination requests of a step into one batch
+	// (E18/E20).
 	DisableBatching bool
 }
 
@@ -86,10 +96,43 @@ func (c StoreConfig) window() int {
 	return c.Window
 }
 
+func (c StoreConfig) shards() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
+}
+
+// Validate rejects configurations that would otherwise produce a silently
+// empty or undefined run: a non-positive key space, a negative window, or a
+// shard count the n-process system cannot host.
+func (c StoreConfig) Validate(n int) error {
+	_, err := c.ShardMap(n)
+	return err
+}
+
+// ShardMap validates the whole configuration and builds the canonical shard
+// map the store uses in an n-process system (see NewShardMap) — the single
+// construction-time gate every store entry point goes through.
+func (c StoreConfig) ShardMap(n int) (*ShardMap, error) {
+	if c.Keys < 1 {
+		return nil, fmt.Errorf("register: store needs Keys ≥ 1, got %d", c.Keys)
+	}
+	if c.Window < 0 {
+		return nil, fmt.Errorf("register: store window %d is negative", c.Window)
+	}
+	if c.Shards < 0 {
+		return nil, fmt.Errorf("register: store shard count %d is negative", c.Shards)
+	}
+	return NewShardMap(n, c.Keys, c.shards())
+}
+
 // storeOp is one outstanding client operation: per-key quorum tracking with
-// the same two ABD phases as the single-register Node.
+// the same two ABD phases as the single-register Node, quorums drawn from
+// the key's shard group.
 type storeOp struct {
 	key     int
+	shard   int
 	rid     int64
 	kind    OpKind
 	arg     Value
@@ -100,63 +143,93 @@ type storeOp struct {
 	bestVal Value
 }
 
-// StoreNode is the per-process automaton of the keyed register store: one
-// ABD replica for every key plus, at members of S, a pipelined multi-key
-// client — the multi-object generalization of Node. Replica state is dense
-// per-key Timestamp/Value slices, quorum tracking is per outstanding op, and
-// all keys share one message layer.
+// StoreNode is the per-process automaton of the sharded keyed register
+// store: one ABD replica for every key of the shards the process belongs to
+// plus, at members of S, a pipelined multi-key client that routes each
+// operation to its shard's replica group. Replica state is sparse — only
+// owned shards allocate their dense per-local-key Timestamp/Value slices —
+// quorum tracking is per outstanding op against Σ_{S_i} = the shard's
+// group, and each shard's traffic shares the process's single message layer.
 type StoreNode struct {
-	self dist.ProcID
-	n    int
-	s    dist.ProcSet
-	cfg  StoreConfig
+	self   dist.ProcID
+	n      int
+	s      dist.ProcSet
+	cfg    StoreConfig
+	shards *ShardMap
 
-	// Replica state, dense per key.
-	ts  []Timestamp
-	val []Value
+	// Replica state, sparse per shard: ts[sh]/val[sh] are nil unless self
+	// belongs to shard sh's group, else dense over the shard's local keys.
+	ts  [][]Timestamp
+	val [][]Value
 
-	// Client state.
-	script    []KeyedOp
-	next      int // next script index not yet started
+	// Client state: the script split into per-shard FIFO queues (script
+	// order within each shard, which keys make per-key program order), one
+	// pipelining window per shard.
+	queues    [][]KeyedOp
+	queued    int // ops remaining across all queues
+	scriptLen int
 	opSeq     int64
 	rid       int64
 	pend      []storeOp
 	completed int
 
-	// Per-step request accumulators, flushed as batches at the end of the
-	// step (reused across steps; the flushed payload slices are fresh).
-	qOut []queryEntry
-	sOut []storeEntry
+	// Per-step per-shard request accumulators, flushed as one batch per
+	// (shard, group member) at the end of the step (reused across steps;
+	// the flushed payload slices are fresh).
+	qOut [][]queryEntry
+	sOut [][]storeEntry
 }
 
 var _ sim.Automaton = (*StoreNode)(nil)
 
-// NewStoreNode builds the store automaton for process self. Prefer
-// StoreProgram, which validates the configuration at construction time;
-// NewStoreNode trusts its arguments (scripts at processes outside S are
-// still ignored at run time, enforcing the S-register access restriction).
-func NewStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, script []KeyedOp) *StoreNode {
-	return &StoreNode{
+// NewStoreNode builds the store automaton for process self over the given
+// shard map. Prefer StoreProgram, which validates the configuration at
+// construction time; NewStoreNode trusts its arguments (scripts at
+// processes outside S are still ignored at run time, enforcing the
+// S-register access restriction).
+func NewStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, m *ShardMap, script []KeyedOp) *StoreNode {
+	a := &StoreNode{
 		self:   self,
 		n:      n,
 		s:      s,
 		cfg:    cfg,
-		ts:     make([]Timestamp, cfg.Keys),
-		val:    make([]Value, cfg.Keys),
-		script: script,
+		shards: m,
+		ts:     make([][]Timestamp, m.Shards()),
+		val:    make([][]Value, m.Shards()),
+		queues: make([][]KeyedOp, m.Shards()),
+		qOut:   make([][]queryEntry, m.Shards()),
+		sOut:   make([][]storeEntry, m.Shards()),
 	}
+	for sh := 0; sh < m.Shards(); sh++ {
+		if m.Owns(self, sh) {
+			a.ts[sh] = make([]Timestamp, m.KeysIn(sh))
+			a.val[sh] = make([]Value, m.KeysIn(sh))
+		}
+	}
+	if s.Contains(self) {
+		a.scriptLen = len(script)
+		a.queued = len(script)
+		for _, op := range script {
+			sh := m.Shard(op.Key)
+			a.queues[sh] = append(a.queues[sh], op)
+		}
+	}
+	return a
 }
 
-// StoreProgram builds a sim.Program running a StoreNode at every process
-// (scripts indexed ProcID-1; nil entries are pure replicas). Invalid setups
-// — a script attached to a process outside S, a key outside [0, Keys), an
-// unknown op kind, a non-positive key count — are construction-time errors.
-func StoreProgram(s dist.ProcSet, cfg StoreConfig, scripts [][]KeyedOp) (sim.Program, error) {
-	if cfg.Keys < 1 {
-		return nil, fmt.Errorf("register: store needs Keys ≥ 1, got %d", cfg.Keys)
+// StoreProgram builds a sim.Program running a StoreNode at every process of
+// the n-process system (scripts indexed ProcID-1; nil entries are pure
+// replicas). Invalid setups — a config rejected by StoreConfig.Validate, a
+// script attached to a process outside S, a key outside [0, Keys), an
+// unknown op kind — are construction-time errors. n must match the failure
+// pattern the program later runs under.
+func StoreProgram(n int, s dist.ProcSet, cfg StoreConfig, scripts [][]KeyedOp) (sim.Program, error) {
+	m, err := cfg.ShardMap(n) // the full construction-time validation
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Window < 0 {
-		return nil, fmt.Errorf("register: store window %d is negative", cfg.Window)
+	if !s.SubsetOf(dist.FullSet(n)) {
+		return nil, fmt.Errorf("register: store members %v outside the %d-process system", s, n)
 	}
 	for i, sc := range scripts {
 		p := dist.ProcID(i + 1)
@@ -172,21 +245,71 @@ func StoreProgram(s dist.ProcSet, cfg StoreConfig, scripts [][]KeyedOp) (sim.Pro
 			}
 		}
 	}
-	return func(p dist.ProcID, n int) sim.Automaton {
+	return func(p dist.ProcID, _ int) sim.Automaton {
 		var script []KeyedOp
 		if int(p) <= len(scripts) {
 			script = scripts[p-1]
 		}
-		return NewStoreNode(p, n, s, cfg, script)
+		return NewStoreNode(p, n, s, cfg, m, script)
 	}, nil
 }
 
-// Done reports whether the node's script has fully executed and no operation
-// is outstanding.
-func (a *StoreNode) Done() bool { return a.next >= len(a.script) && len(a.pend) == 0 }
+// Done reports whether the node's script has fully executed and no
+// operation is outstanding on any shard.
+func (a *StoreNode) Done() bool { return a.queued == 0 && len(a.pend) == 0 }
+
+// DoneOn reports whether the node has finished all work destined to the
+// shards of the avail bitmask: nothing queued for and nothing outstanding on
+// an available shard. Operations routed to unavailable shards (a fully
+// crashed replica group) can never complete and are excluded — a crash only
+// degrades its own shard's availability.
+func (a *StoreNode) DoneOn(avail uint64) bool {
+	for sh := range a.queues {
+		if avail&(1<<uint(sh)) != 0 && len(a.queues[sh]) > 0 {
+			return false
+		}
+	}
+	for i := range a.pend {
+		if avail&(1<<uint(a.pend[i].shard)) != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // CompletedOps returns the number of client operations this node completed.
 func (a *StoreNode) CompletedOps() int { return a.completed }
+
+// ScriptedOps returns the length of the node's client script.
+func (a *StoreNode) ScriptedOps() int { return a.scriptLen }
+
+// Shards returns the shard map the node routes by.
+func (a *StoreNode) Shards() *ShardMap { return a.shards }
+
+// ReplicaStateBytes returns the bytes of per-key replica state this node
+// allocates — the E19 metric: with the key space fixed, sharding shrinks it
+// by the shard count, because a process only replicates its own shards.
+func (a *StoreNode) ReplicaStateBytes() int {
+	const perKey = int(unsafe.Sizeof(Timestamp{}) + unsafe.Sizeof(Value(0)))
+	total := 0
+	for sh := range a.ts {
+		total += len(a.ts[sh]) * perKey
+	}
+	return total
+}
+
+// locate resolves a key to its shard and local replica index at this node;
+// ok is false for keys out of range or shards this node does not replicate.
+func (a *StoreNode) locate(key int) (sh, loc int, ok bool) {
+	if key < 0 || key >= a.shards.Keys() {
+		return 0, 0, false
+	}
+	sh = a.shards.Shard(key)
+	if a.ts[sh] == nil {
+		return 0, 0, false
+	}
+	return sh, a.shards.Local(key), true
+}
 
 // Step implements sim.Automaton.
 func (a *StoreNode) Step(e *sim.Env) {
@@ -194,10 +317,12 @@ func (a *StoreNode) Step(e *sim.Env) {
 		a.onMessage(e, payload, from)
 	}
 	if !a.s.Contains(a.self) || a.Done() {
-		return // not a member of S (replica only) or script finished
+		return // not a client (replica only) or script finished
 	}
-	a.qOut = a.qOut[:0]
-	a.sOut = a.sOut[:0]
+	for sh := range a.qOut {
+		a.qOut[sh] = a.qOut[sh][:0]
+		a.sOut[sh] = a.sOut[sh][:0]
+	}
 	a.advance(e)
 	a.start(e)
 	a.flush(e)
@@ -208,10 +333,11 @@ func (a *StoreNode) onMessage(e *sim.Env, payload any, from dist.ProcID) {
 	case queryReqBatch:
 		reps := make([]queryRepEntry, 0, len(m.E))
 		for _, q := range m.E {
-			if q.Key < 0 || q.Key >= len(a.ts) {
-				continue
+			sh, loc, ok := a.locate(q.Key)
+			if !ok {
+				continue // misrouted: not this node's shard
 			}
-			reps = append(reps, queryRepEntry{Key: q.Key, RID: q.RID, TS: a.ts[q.Key], V: a.val[q.Key]})
+			reps = append(reps, queryRepEntry{Key: q.Key, RID: q.RID, TS: a.ts[sh][loc], V: a.val[sh][loc]})
 		}
 		if a.cfg.DisableBatching {
 			for i := range reps {
@@ -223,11 +349,12 @@ func (a *StoreNode) onMessage(e *sim.Env, payload any, from dist.ProcID) {
 	case storeReqBatch:
 		reps := make([]storeRepEntry, 0, len(m.E))
 		for _, s := range m.E {
-			if s.Key < 0 || s.Key >= len(a.ts) {
+			sh, loc, ok := a.locate(s.Key)
+			if !ok {
 				continue
 			}
-			if a.ts[s.Key].Less(s.TS) {
-				a.ts[s.Key], a.val[s.Key] = s.TS, s.V
+			if a.ts[sh][loc].Less(s.TS) {
+				a.ts[sh][loc], a.val[sh][loc] = s.TS, s.V
 			}
 			reps = append(reps, storeRepEntry{Key: s.Key, RID: s.RID})
 		}
@@ -257,7 +384,7 @@ func (a *StoreNode) onMessage(e *sim.Env, payload any, from dist.ProcID) {
 }
 
 // lookup finds the outstanding op correlated by (key, rid) in the given
-// phase. The window is small, so a linear scan beats any index.
+// phase. The windows are small, so a linear scan beats any index.
 func (a *StoreNode) lookup(key int, rid int64, phase uint8) *storeOp {
 	for i := range a.pend {
 		op := &a.pend[i]
@@ -277,10 +404,31 @@ func (a *StoreNode) inFlight(key int) bool {
 	return false
 }
 
+// shardLoad counts the outstanding ops routed to one shard.
+func (a *StoreNode) shardLoad(sh int) int {
+	load := 0
+	for i := range a.pend {
+		if a.pend[i].shard == sh {
+			load++
+		}
+	}
+	return load
+}
+
+// quorum returns the responder set an op must cover: the Σ_S trust list
+// projected onto the op's shard group — the Σ_{S_i} instance of that shard.
+// An empty projection (the whole group crashed) means the shard has no live
+// quorum and the op can never complete; returning ok=false keeps it pending
+// instead of letting the vacuous subset test complete it on stale state.
+func (a *StoreNode) quorum(trusted dist.ProcSet, sh int) (dist.ProcSet, bool) {
+	q := trusted.Intersect(a.shards.Group(sh))
+	return q, !q.IsEmpty()
+}
+
 // advance applies the ABD phase-termination rule to every outstanding op
-// with one Σ_S query per step: an op whose responders cover a trusted set
-// moves from query to store phase (writes pick ts = best+1, reads write the
-// best value back) or completes.
+// with one Σ_S query per step: an op whose responders cover its shard's
+// projection of a trusted set moves from query to store phase (writes pick
+// ts = best+1, reads write the best value back) or completes.
 func (a *StoreNode) advance(e *sim.Env) {
 	if len(a.pend) == 0 {
 		return
@@ -292,7 +440,8 @@ func (a *StoreNode) advance(e *sim.Env) {
 	kept := a.pend[:0]
 	for i := range a.pend {
 		op := a.pend[i]
-		if !tl.Trusted.SubsetOf(op.acks) {
+		q, live := a.quorum(tl.Trusted, op.shard)
+		if !live || !q.SubsetOf(op.acks) {
 			kept = append(kept, op)
 			continue
 		}
@@ -309,12 +458,16 @@ func (a *StoreNode) advance(e *sim.Env) {
 			a.rid++
 			op.rid = a.rid
 			op.phase = 2
-			op.acks = dist.NewProcSet(a.self) // the local replica answers immediately
+			op.acks = 0
 			op.best, op.bestVal = st, v
-			if a.ts[op.key].Less(st) {
-				a.ts[op.key], a.val[op.key] = st, v
+			if sh, loc, owned := a.locate(op.key); owned {
+				// The local replica stores and answers immediately.
+				op.acks = dist.NewProcSet(a.self)
+				if a.ts[sh][loc].Less(st) {
+					a.ts[sh][loc], a.val[sh][loc] = st, v
+				}
 			}
-			a.sOut = append(a.sOut, storeEntry{Key: op.key, RID: op.rid, TS: st, V: v})
+			a.sOut[op.shard] = append(a.sOut[op.shard], storeEntry{Key: op.key, RID: op.rid, TS: st, V: v})
 			kept = append(kept, op)
 		case 2:
 			desc := KeyedOpDesc{Key: op.key, Kind: op.kind, Arg: op.arg}
@@ -329,53 +482,80 @@ func (a *StoreNode) advance(e *sim.Env) {
 	a.pend = kept
 }
 
-// start fills the pipelining window: scripted ops begin strictly in script
-// order, and an op whose key is already in flight blocks the ones behind it
-// (head-of-line blocking keeps per-client per-key program order).
+// start fills each shard's pipelining window: scripted ops begin strictly
+// in script order within their shard, and an op whose key is already in
+// flight blocks the ones behind it on the same shard only (head-of-line
+// blocking keeps per-client per-key program order; other shards keep
+// flowing, so a slow or dead shard never stalls the rest).
 func (a *StoreNode) start(e *sim.Env) {
-	for len(a.pend) < a.cfg.window() && a.next < len(a.script) {
-		op := a.script[a.next]
-		if a.inFlight(op.Key) {
-			return
+	w := a.cfg.window()
+	for sh := range a.queues {
+		for len(a.queues[sh]) > 0 && a.shardLoad(sh) < w {
+			op := a.queues[sh][0]
+			if a.inFlight(op.Key) {
+				break
+			}
+			a.queues[sh] = a.queues[sh][1:]
+			a.queued--
+			a.opSeq++
+			a.rid++
+			e.Invoke(a.opSeq, KeyedOpDesc{Key: op.Key, Kind: op.Kind, Arg: op.Arg})
+			pend := storeOp{
+				key:   op.Key,
+				shard: sh,
+				rid:   a.rid,
+				kind:  op.Kind,
+				arg:   op.Arg,
+				seq:   a.opSeq,
+				phase: 1,
+			}
+			if s, loc, owned := a.locate(op.Key); owned {
+				pend.acks = dist.NewProcSet(a.self)
+				pend.best, pend.bestVal = a.ts[s][loc], a.val[s][loc]
+			}
+			a.pend = append(a.pend, pend)
+			a.qOut[sh] = append(a.qOut[sh], queryEntry{Key: op.Key, RID: a.rid})
 		}
-		a.next++
-		a.opSeq++
-		a.rid++
-		e.Invoke(a.opSeq, KeyedOpDesc{Key: op.Key, Kind: op.Kind, Arg: op.Arg})
-		a.pend = append(a.pend, storeOp{
-			key:     op.Key,
-			rid:     a.rid,
-			kind:    op.Kind,
-			arg:     op.Arg,
-			seq:     a.opSeq,
-			phase:   1,
-			acks:    dist.NewProcSet(a.self),
-			best:    a.ts[op.Key],
-			bestVal: a.val[op.Key],
-		})
-		a.qOut = append(a.qOut, queryEntry{Key: op.Key, RID: a.rid})
 	}
 }
 
-// flush broadcasts the step's accumulated requests: one batch per payload
-// kind, or one message per entry when batching is disabled.
-func (a *StoreNode) flush(e *sim.Env) {
-	if len(a.qOut) > 0 {
-		if a.cfg.DisableBatching {
-			for _, q := range a.qOut {
-				e.Broadcast(queryReqBatch{E: []queryEntry{q}})
-			}
-		} else {
-			e.Broadcast(queryReqBatch{E: append([]queryEntry(nil), a.qOut...)})
+// sendToGroup sends payload to every member of the set except self (the
+// local replica, when a member, was already accounted for in-process).
+func (a *StoreNode) sendToGroup(e *sim.Env, group dist.ProcSet, payload any) {
+	for set := group; !set.IsEmpty(); {
+		p := set.Min()
+		set = set.Remove(p)
+		if p != a.self {
+			e.Send(p, payload)
 		}
 	}
-	if len(a.sOut) > 0 {
-		if a.cfg.DisableBatching {
-			for _, s := range a.sOut {
-				e.Broadcast(storeReqBatch{E: []storeEntry{s}})
+}
+
+// flush sends the step's accumulated requests: one batch per (shard, group
+// member), or one message per entry when batching is disabled. Requests
+// only travel to their shard's replica group — the routing that keeps
+// quorum traffic off processes outside the group.
+func (a *StoreNode) flush(e *sim.Env) {
+	for sh := range a.qOut {
+		if len(a.qOut[sh]) > 0 {
+			group := a.shards.Group(sh)
+			if a.cfg.DisableBatching {
+				for _, q := range a.qOut[sh] {
+					a.sendToGroup(e, group, queryReqBatch{E: []queryEntry{q}})
+				}
+			} else {
+				a.sendToGroup(e, group, queryReqBatch{E: append([]queryEntry(nil), a.qOut[sh]...)})
 			}
-		} else {
-			e.Broadcast(storeReqBatch{E: append([]storeEntry(nil), a.sOut...)})
+		}
+		if len(a.sOut[sh]) > 0 {
+			group := a.shards.Group(sh)
+			if a.cfg.DisableBatching {
+				for _, s := range a.sOut[sh] {
+					a.sendToGroup(e, group, storeReqBatch{E: []storeEntry{s}})
+				}
+			} else {
+				a.sendToGroup(e, group, storeReqBatch{E: append([]storeEntry(nil), a.sOut[sh]...)})
+			}
 		}
 	}
 }

@@ -13,11 +13,16 @@ import (
 // once every correct client finished its script.
 func runStore(t *testing.T, f *dist.FailurePattern, s dist.ProcSet, cfg StoreConfig, scripts [][]KeyedOp, stab dist.Time, seed int64) *sim.Result {
 	t.Helper()
-	prog, err := StoreProgram(s, cfg, scripts)
+	prog, err := StoreProgram(f.N(), s, cfg, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cfg.ShardMap(f.N())
 	if err != nil {
 		t.Fatal(err)
 	}
 	clients := s.Intersect(f.Correct())
+	avail := m.Available(f.Correct())
 	res, err := sim.Run(sim.Config{
 		Pattern:   f,
 		History:   fd.NewSigmaS(f, s, stab),
@@ -25,7 +30,7 @@ func runStore(t *testing.T, f *dist.FailurePattern, s dist.ProcSet, cfg StoreCon
 		Scheduler: sim.NewRandomScheduler(seed),
 		MaxSteps:  int64(20_000 + 2_000*TotalKeyedOps(scripts)),
 		StopWhen: func(sn *sim.Snapshot) bool {
-			return StoreClientsDone(sn, clients)
+			return StoreClientsDoneOn(sn, clients, avail)
 		},
 	})
 	if err != nil {
@@ -249,10 +254,14 @@ func TestStoreReadOnlyWorkload(t *testing.T) {
 }
 
 func TestStoreProgramConstructionErrors(t *testing.T) {
+	const n = 3
 	s := dist.NewProcSet(1, 2)
 	valid := [][]KeyedOp{{{Key: 0, Kind: ReadOp}}}
-	if _, err := StoreProgram(s, StoreConfig{Keys: 2}, valid); err != nil {
+	if _, err := StoreProgram(n, s, StoreConfig{Keys: 2}, valid); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
+	}
+	if _, err := StoreProgram(n, s, StoreConfig{Keys: 3, Shards: 3}, valid); err != nil {
+		t.Fatalf("valid sharded config rejected: %v", err)
 	}
 	cases := []struct {
 		name    string
@@ -261,14 +270,161 @@ func TestStoreProgramConstructionErrors(t *testing.T) {
 	}{
 		{"no keys", StoreConfig{Keys: 0}, valid},
 		{"negative window", StoreConfig{Keys: 2, Window: -1}, valid},
+		{"negative shards", StoreConfig{Keys: 2, Shards: -1}, valid},
+		{"more shards than keys", StoreConfig{Keys: 2, Shards: 3}, valid},
+		{"more shards than processes", StoreConfig{Keys: 8, Shards: 4}, valid},
 		{"script outside S", StoreConfig{Keys: 2}, [][]KeyedOp{nil, nil, {{Key: 0, Kind: ReadOp}}}},
 		{"key out of range", StoreConfig{Keys: 2}, [][]KeyedOp{{{Key: 2, Kind: ReadOp}}}},
 		{"negative key", StoreConfig{Keys: 2}, [][]KeyedOp{{{Key: -1, Kind: ReadOp}}}},
 		{"bad op kind", StoreConfig{Keys: 2}, [][]KeyedOp{{{Key: 0}}}},
 	}
 	for _, tc := range cases {
-		if _, err := StoreProgram(s, tc.cfg, tc.scripts); err == nil {
+		if _, err := StoreProgram(n, s, tc.cfg, tc.scripts); err == nil {
 			t.Fatalf("%s: construction must fail", tc.name)
+		}
+	}
+}
+
+func TestStoreConfigValidate(t *testing.T) {
+	if err := (StoreConfig{Keys: 4, Shards: 2, Window: 3}).Validate(5); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, cfg := range map[string]StoreConfig{
+		"zero keys":       {Keys: 0},
+		"negative keys":   {Keys: -3},
+		"negative window": {Keys: 2, Window: -1},
+		"negative shards": {Keys: 2, Shards: -2},
+		"shards > keys":   {Keys: 2, Shards: 3},
+		"shards > n":      {Keys: 16, Shards: 6},
+	} {
+		if err := cfg.Validate(5); err == nil {
+			t.Fatalf("%s: StoreConfig.Validate must reject %+v", name, cfg)
+		}
+	}
+}
+
+func TestStoreShardedLinearizableAndSparse(t *testing.T) {
+	const n = 6
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2, 3)
+	for _, shards := range []int{2, 3} {
+		scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+			N: n, S: s, Keys: 12, Shards: shards, OpsPerClient: 10, WriteRatio: -1, Skew: 1.5, Seed: 21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := StoreConfig{Keys: 12, Shards: shards, Window: 3}
+		m, err := cfg.ShardMap(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 6; seed++ {
+			res := runStore(t, f, s, cfg, scripts, 10, seed)
+			if err := VerifyStoreRun(res, f.Correct()); err != nil {
+				t.Fatalf("shards=%d seed %d: %v", shards, seed, err)
+			}
+			// Replica state is sparse: every node only allocates the keys of
+			// the shards it belongs to, keys/shards of the key space under
+			// the canonical disjoint partition.
+			const perKey = 24 // Timestamp (16) + Value (8)
+			for pi, a := range res.Automata {
+				node := a.(*StoreNode)
+				want := 0
+				for sh := 0; sh < m.Shards(); sh++ {
+					if m.Owns(dist.ProcID(pi+1), sh) {
+						want += m.KeysIn(sh) * perKey
+					}
+				}
+				if got := node.ReplicaStateBytes(); got != want || got >= 12*perKey {
+					t.Fatalf("shards=%d: p%d holds %d replica bytes, want %d (< %d)",
+						shards, pi+1, got, want, 12*perKey)
+				}
+			}
+		}
+	}
+}
+
+func TestStoreShardCrashOnlyDegradesItsOwnShard(t *testing.T) {
+	const n, shards, keys = 6, 3, 9
+	s := dist.NewProcSet(1, 2, 3)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: keys, Shards: shards, OpsPerClient: 9, WriteRatio: -1, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StoreConfig{Keys: keys, Shards: shards, Window: 2}
+	m, err := cfg.ShardMap(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 1's whole group ({p2, p5} under the canonical partition) is
+	// crashed; shard 1 ops can never reach a quorum, shards 0 and 2 must be
+	// untouched.
+	const dead = 1
+	if got := m.Group(dead); got != dist.NewProcSet(2, 5) {
+		t.Fatalf("canonical group of shard 1 is %v, want {p2,p5}", got)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		f := dist.NewFailurePattern(n)
+		crashAt := dist.Time(0)
+		if seed%2 == 1 {
+			crashAt = dist.Time(20 + seed) // mid-run: some shard-1 ops may finish first
+		}
+		for _, p := range m.Group(dead).Members() {
+			f.CrashAt(p, crashAt)
+		}
+		avail := m.Available(f.Correct())
+		if avail != 0b101 {
+			t.Fatalf("availability mask %b, want 101", avail)
+		}
+		res := runStore(t, f, s, cfg, scripts, 150, seed)
+		if err := VerifyStoreRun(res, f.Correct()); err != nil {
+			t.Fatalf("seed %d (crash@%d): %v", seed, int64(crashAt), err)
+		}
+		byKey := ExtractKeyedOps(res.Trace)
+		for key, ops := range byKey {
+			if m.Shard(key) == dead {
+				continue
+			}
+			// Every op a correct client issued on a live shard completed.
+			for _, o := range ops {
+				if f.Correct().Contains(o.Proc) && !o.Complete {
+					t.Fatalf("seed %d: incomplete op %v on live shard %d", seed, o, m.Shard(key))
+				}
+			}
+		}
+		if crashAt == 0 {
+			// With the group dead from the start no shard-1 op can ever
+			// complete, at any client.
+			stuck := 0
+			for key, ops := range byKey {
+				if m.Shard(key) != dead {
+					continue
+				}
+				for _, o := range ops {
+					if o.Complete {
+						t.Fatalf("seed %d: op %v completed on key %d of the dead shard", seed, o, key)
+					}
+					stuck++
+				}
+			}
+			if stuck == 0 {
+				t.Fatalf("seed %d: workload never touched the dead shard — the scenario tests nothing", seed)
+			}
+			// The degradation is real: correct clients finished the
+			// available shards (VerifyStoreRun above) but not their whole
+			// script.
+			fullyDone := 0
+			for _, p := range s.Intersect(f.Correct()).Members() {
+				if res.Automata[p-1].(*StoreNode).Done() {
+					fullyDone++
+				}
+			}
+			if fullyDone == len(s.Intersect(f.Correct()).Members()) {
+				t.Fatalf("seed %d: every client finished despite a dead shard", seed)
+			}
 		}
 	}
 }
@@ -309,6 +465,50 @@ func TestStoreSweepLinearizableAndWorkerIndependent(t *testing.T) {
 	}
 	if base.Runs != 10 || base.Failures != 0 {
 		t.Fatalf("sweep failed: %s", base)
+	}
+	for _, w := range []int{2, 4} {
+		cfg.Workers = w
+		got, err := StoreSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Runs != base.Runs || got.Failures != base.Failures ||
+			got.FirstFailSeed != base.FirstFailSeed ||
+			got.Steps != base.Steps || got.Msgs != base.Msgs {
+			t.Fatalf("workers=%d diverged:\n  1: %+v\n  %d: %+v", w, base, w, got)
+		}
+	}
+}
+
+func TestStoreShardedSweepWorkerIndependentUnderShardCrash(t *testing.T) {
+	const n, shards = 6, 3
+	s := dist.NewProcSet(1, 2, 3)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 9, Shards: shards, OpsPerClient: 8, WriteRatio: -1, Skew: 1.4, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 1's whole group ({p2, p5}) crashes mid-run: the sweep verdict
+	// demands completion on shards 0 and 2 only, plus per-key
+	// linearizability across the board (stuck shard-1 ops stay pending).
+	f := dist.NewFailurePattern(n)
+	f.CrashAt(2, 25)
+	f.CrashAt(5, 35)
+	cfg := StoreSweepConfig{
+		Pattern: f, S: s,
+		Store:   StoreConfig{Keys: 9, Shards: shards, Window: 2},
+		Scripts: scripts,
+		Stab:    120,
+		Seeds:   8,
+		Workers: 1,
+	}
+	base, err := StoreSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Runs != 8 || base.Failures != 0 {
+		t.Fatalf("sharded sweep failed: %s (first seed %d: %v)", base, base.FirstFailSeed, base.FirstFailErr)
 	}
 	for _, w := range []int{2, 4} {
 		cfg.Workers = w

@@ -31,15 +31,23 @@ type StoreSweepConfig struct {
 }
 
 // StoreSweep runs Seeds store runs on the sweep engine and verifies every
-// run with VerifyStoreRun: correct clients finish their scripts and every
-// per-key history is linearizable. Per-run verdicts are pure functions of
-// the seed, so the aggregate inherits the engine's guarantee of being
-// bit-identical for every worker count.
+// run with VerifyStoreRun: correct clients finish every operation routed to
+// an available shard (one whose replica group keeps a correct member — a
+// crash may only degrade its own shard's availability) and every per-key
+// history is linearizable, including histories on shards that lost replicas
+// mid-run. Per-run verdicts are pure functions of the seed, so the
+// aggregate inherits the engine's guarantee of being bit-identical for
+// every worker count.
 func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
 	if cfg.Pattern == nil {
 		return nil, fmt.Errorf("register: StoreSweep needs a failure pattern")
 	}
-	prog, err := StoreProgram(cfg.S, cfg.Store, cfg.Scripts)
+	n := cfg.Pattern.N()
+	prog, err := StoreProgram(n, cfg.S, cfg.Store, cfg.Scripts)
+	if err != nil {
+		return nil, err
+	}
+	shardMap, err := cfg.Store.ShardMap(n) // valid: StoreProgram validated cfg.Store
 	if err != nil {
 		return nil, err
 	}
@@ -59,10 +67,17 @@ func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
 		// nothing must be a setup error, not a success.
 		return nil, fmt.Errorf("register: no correct client — S=%v is entirely crashed by %v", cfg.S, cfg.Pattern)
 	}
+	avail := shardMap.Available(correct)
+	if avail == 0 {
+		// Same reasoning per shard: if every replica group is fully
+		// crashed, no operation can ever complete and every run verifies
+		// an empty history.
+		return nil, fmt.Errorf("register: no available shard — every replica group of [%s] is crashed by %v", shardMap, cfg.Pattern)
+	}
 	// Shared across workers: a pure read of the snapshot, no captured
 	// mutable state.
 	stopWhen := func(sn *sim.Snapshot) bool {
-		return StoreClientsDone(sn, clients)
+		return StoreClientsDoneOn(sn, clients, avail)
 	}
 	return sweep.Run(sweep.Config{
 		Sim: func() sim.Config {
@@ -85,14 +100,23 @@ func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
 	})
 }
 
-// StoreClientsDone reports whether every client in clients ran its script to
-// completion — the stop condition of store runs (pass the correct members of
-// S; crashed clients never finish).
+// StoreClientsDone reports whether every client in clients ran its script
+// to completion — the stop condition of failure-free store runs (pass the
+// correct members of S; crashed clients never finish).
 func StoreClientsDone(sn *sim.Snapshot, clients dist.ProcSet) bool {
+	return StoreClientsDoneOn(sn, clients, ^uint64(0))
+}
+
+// StoreClientsDoneOn reports whether every client in clients has finished
+// all work routed to the shards of the avail bitmask — the stop condition
+// of store runs under per-shard crash scenarios: operations bound for a
+// shard whose whole replica group crashed can never complete and must not
+// keep the run alive (see ShardMap.Available).
+func StoreClientsDoneOn(sn *sim.Snapshot, clients dist.ProcSet, avail uint64) bool {
 	for set := clients; !set.IsEmpty(); {
 		p := set.Min()
 		set = set.Remove(p)
-		if node, ok := sn.Automaton(p).(*StoreNode); !ok || !node.Done() {
+		if node, ok := sn.Automaton(p).(*StoreNode); !ok || !node.DoneOn(avail) {
 			return false
 		}
 	}
@@ -100,18 +124,22 @@ func StoreClientsDone(sn *sim.Snapshot, clients dist.ProcSet) bool {
 }
 
 // VerifyStoreRun checks one finished store run end to end: every correct
-// member of S ran its script to completion, and every key's history is
-// linearizable (all registers start at 0). The run must come from a
-// StoreProgram with tracing enabled.
+// member of S completed every operation routed to an available shard (so a
+// crash degraded nothing beyond its own shards), and every key's history is
+// linearizable (all registers start at 0) — including keys of a shard whose
+// group lost members, whose stuck operations stay pending and may be
+// dropped by the checker. The run must come from a StoreProgram with
+// tracing enabled.
 func VerifyStoreRun(res *sim.Result, correct dist.ProcSet) error {
 	for _, a := range res.Automata {
 		node, ok := a.(*StoreNode)
 		if !ok || !node.s.Contains(node.self) || !correct.Contains(node.self) {
 			continue
 		}
-		if !node.Done() {
-			return fmt.Errorf("register: correct client p%d stopped at %d/%d scripted ops (%d in flight; run ended: %s)",
-				int(node.self), node.completed, len(node.script), len(node.pend), res.Reason)
+		avail := node.shards.Available(correct)
+		if !node.DoneOn(avail) {
+			return fmt.Errorf("register: correct client p%d stopped at %d/%d scripted ops with work left on available shards %b (%d in flight; run ended: %s)",
+				int(node.self), node.completed, node.scriptLen, avail, len(node.pend), res.Reason)
 		}
 	}
 	if res.Trace == nil {

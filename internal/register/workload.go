@@ -81,12 +81,19 @@ type StoreWorkloadConfig struct {
 	// member of S.
 	Keys         int
 	OpsPerClient int
+	// Shards makes the generator shard-aware (0 or 1 = one global key
+	// distribution): keys are striped across shards as in ShardMap (key k
+	// on shard k mod Shards), each op draws its destination shard
+	// uniformly — so every replica group sees traffic — and then applies
+	// Skew within that shard's keys, giving each shard its own hot keys.
+	Shards int
 	// WriteRatio ∈ [0,1]: 0 requests a read-only workload; a negative value
 	// selects DefaultWriteRatio.
 	WriteRatio float64
-	// Skew selects the key distribution: a value > 1 draws keys from a Zipf
-	// distribution with parameter s = Skew over the key space (key 0
-	// hottest); values ≤ 1 draw keys uniformly.
+	// Skew selects the key distribution: 0 draws keys uniformly; a value
+	// > 1 draws keys from a Zipf distribution with parameter s = Skew (the
+	// lowest key of each shard hottest). rand.Zipf is undefined for
+	// s ≤ 1, so any other value is a construction-time error.
 	Skew float64
 	// Seed drives the generator.
 	Seed int64
@@ -94,11 +101,14 @@ type StoreWorkloadConfig struct {
 
 // GenerateStoreWorkload builds per-process keyed scripts (index ProcID-1):
 // members of S receive a random read/write mix over the key space with
-// globally unique write values, everyone else gets a nil script. No key
-// receives more than MaxOpsPerKey operations in total — a key drawn beyond
-// that budget is deterministically redirected to the next key with spare
-// budget — so every per-key history stays checkable by
-// CheckKeyedLinearizable.
+// globally unique write values, everyone else gets a nil script. With
+// Shards > 1 each op picks a destination shard uniformly and then a key
+// within the shard (skewed or uniform), so the scripts exercise every
+// replica group. No key receives more than MaxOpsPerKey operations in
+// total — a key drawn beyond that budget is deterministically redirected
+// to the next key with spare budget (possibly on another shard: the global
+// budget guarantees a slot exists somewhere) — so every per-key history
+// stays checkable by CheckKeyedLinearizable.
 func GenerateStoreWorkload(cfg StoreWorkloadConfig) ([][]KeyedOp, error) {
 	if cfg.Keys < 1 {
 		return nil, fmt.Errorf("register: store workload needs Keys ≥ 1, got %d", cfg.Keys)
@@ -115,6 +125,14 @@ func GenerateStoreWorkload(cfg StoreWorkloadConfig) ([][]KeyedOp, error) {
 	if cfg.WriteRatio > 1 {
 		return nil, fmt.Errorf("register: WriteRatio %g outside [0,1]", cfg.WriteRatio)
 	}
+	if cfg.Skew != 0 && cfg.Skew <= 1 {
+		// rand.NewZipf returns nil for s ≤ 1 and the first draw would
+		// panic; reject at construction with the fix spelled out.
+		return nil, fmt.Errorf("register: zipf skew must be > 1, got %g (use Skew 0 for a uniform key distribution)", cfg.Skew)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("register: store workload shard count %d is negative", cfg.Shards)
+	}
 	if !cfg.S.SubsetOf(dist.FullSet(cfg.N)) {
 		return nil, fmt.Errorf("register: store members %v outside the %d-process system", cfg.S, cfg.N)
 	}
@@ -123,11 +141,29 @@ func GenerateStoreWorkload(cfg StoreWorkloadConfig) ([][]KeyedOp, error) {
 		return nil, fmt.Errorf("register: %d scripted ops exceed the per-key checker budget (%d keys × %d ops)",
 			total, cfg.Keys, MaxOpsPerKey)
 	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	// The same canonical map the store routes by: the generator must agree
+	// with the store on which keys share a shard, or "per-shard skew"
+	// would silently cross replica groups.
+	m, err := NewShardMap(cfg.N, cfg.Keys, shards)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ratio := effectiveWriteRatio(cfg.WriteRatio)
-	var zipf *rand.Zipf
-	if cfg.Skew > 1 && cfg.Keys > 1 {
-		zipf = rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.Keys-1))
+	// One Zipf source per shard, sized to the shard's key count: skew is a
+	// per-shard property under sharding (every shard has its own hot key).
+	var zipfs []*rand.Zipf
+	if cfg.Skew > 1 {
+		zipfs = make([]*rand.Zipf, shards)
+		for sh := 0; sh < shards; sh++ {
+			if kc := m.KeysIn(sh); kc > 1 {
+				zipfs[sh] = rand.NewZipf(rng, cfg.Skew, 1, uint64(kc-1))
+			}
+		}
 	}
 	perKey := make([]int, cfg.Keys)
 	scripts := make([][]KeyedOp, cfg.N)
@@ -135,12 +171,17 @@ func GenerateStoreWorkload(cfg StoreWorkloadConfig) ([][]KeyedOp, error) {
 		sc := make([]KeyedOp, 0, cfg.OpsPerClient)
 		writes := 0
 		for i := 0; i < cfg.OpsPerClient; i++ {
-			var key int
-			if zipf != nil {
-				key = int(zipf.Uint64())
-			} else {
-				key = rng.Intn(cfg.Keys)
+			sh := 0
+			if shards > 1 {
+				sh = rng.Intn(shards)
 			}
+			local := 0
+			if zipfs != nil && zipfs[sh] != nil {
+				local = int(zipfs[sh].Uint64())
+			} else if kc := m.KeysIn(sh); kc > 1 {
+				local = rng.Intn(kc)
+			}
+			key := m.KeyAt(sh, local)
 			for perKey[key] >= MaxOpsPerKey {
 				key = (key + 1) % cfg.Keys
 			}

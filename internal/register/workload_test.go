@@ -156,6 +156,97 @@ func TestGenerateStoreWorkloadRejectsOverBudget(t *testing.T) {
 	}
 }
 
+func TestGenerateStoreWorkloadRejectsSubUnitSkew(t *testing.T) {
+	// rand.NewZipf is undefined for s ≤ 1 (it returns nil and the first
+	// draw panics); the generator must reject such configs up front with 0
+	// as the explicit "uniform" value.
+	base := StoreWorkloadConfig{N: 4, S: dist.NewProcSet(1, 2), Keys: 4, OpsPerClient: 6, Seed: 1}
+	for _, skew := range []float64{1.0, 0.5, 1e-9, -0.7, -2} {
+		cfg := base
+		cfg.Skew = skew
+		if _, err := GenerateStoreWorkload(cfg); err == nil {
+			t.Fatalf("skew %g must be rejected", skew)
+		}
+	}
+	for _, skew := range []float64{0, 1.0000001, 2} {
+		cfg := base
+		cfg.Skew = skew
+		if _, err := GenerateStoreWorkload(cfg); err != nil {
+			t.Fatalf("skew %g must be accepted: %v", skew, err)
+		}
+	}
+}
+
+func TestGenerateStoreWorkloadShardAware(t *testing.T) {
+	const keys, shards = 12, 3
+	cfg := StoreWorkloadConfig{
+		N: 5, S: dist.NewProcSet(1, 2, 3), Keys: keys, Shards: shards,
+		OpsPerClient: 40, WriteRatio: -1, Skew: 1.6, Seed: 9,
+	}
+	scripts, err := GenerateStoreWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShard := make([]int, shards)
+	hot := make([]map[int]int, shards)
+	for i := range hot {
+		hot[i] = make(map[int]int)
+	}
+	for _, sc := range scripts {
+		for _, op := range sc {
+			sh := op.Key % shards
+			perShard[sh]++
+			hot[sh][op.Key]++
+		}
+	}
+	// Uniform shard choice: every replica group sees traffic.
+	for sh, c := range perShard {
+		if c == 0 {
+			t.Fatalf("shard %d received no ops: %v", sh, perShard)
+		}
+	}
+	// Per-shard skew: within at least one shard, the lowest key (the
+	// shard's zipf head, key == shard index) is strictly hotter than that
+	// shard's coldest key.
+	skewed := false
+	for sh := range hot {
+		min, max := -1, 0
+		for _, c := range hot[sh] {
+			if min == -1 || c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if hot[sh][sh] == max && max > min {
+			skewed = true
+		}
+	}
+	if !skewed {
+		t.Fatalf("no shard shows a zipf head: %v", hot)
+	}
+	// Shard-aware generation is deterministic too.
+	again, err := GenerateStoreWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scripts, again) {
+		t.Fatal("sharded generator is not deterministic for a fixed seed")
+	}
+	// Shard-count validation.
+	bad := cfg
+	bad.Shards = keys + 1
+	if _, err := GenerateStoreWorkload(bad); err == nil {
+		t.Fatal("more shards than keys must be rejected")
+	}
+	bad = cfg
+	bad.Shards = -1
+	if _, err := GenerateStoreWorkload(bad); err == nil {
+		t.Fatal("negative shard count must be rejected")
+	}
+}
+
 func TestGenerateStoreWorkloadSaturatesKeysViaRedirect(t *testing.T) {
 	// Exactly at budget: every key ends up with exactly MaxOpsPerKey ops,
 	// reachable only through the deterministic redirect.
