@@ -340,7 +340,7 @@ func BenchmarkABDRegister(b *testing.B) {
 	reportRun(b, steps, msgs)
 }
 
-// BenchmarkStore regenerates experiments E17–E20 on the keyed register
+// BenchmarkStore regenerates experiments E17–E23 on the keyed register
 // store: one zipf-skewed keyed workload, completed client operations per
 // second of wall clock as the headline metric. E17 is throughput vs the
 // client pipelining window (window > 1 must strictly beat window = 1 on the
@@ -351,7 +351,13 @@ func BenchmarkABDRegister(b *testing.B) {
 // (each process only replicates its own shard) while shards=1 stays within
 // noise of E17's window=8 row. E20 turns batching off on the sharded store
 // (batches coalesce per destination shard, so the ablation measures what
-// per-shard coalescing buys).
+// per-shard coalescing buys). E21 is the allocation trajectory of the
+// pooled hot path, read off every row's allocs/op (the steady-state-zero
+// tripwire is TestStoreAllocsPerStep); E22 turns reply piggybacking on at
+// the E19 operating points — msgs/op must fall strictly below the matching
+// E19 row, every entry kind for one destination folded into one frame per
+// step; E23 runs a whole-group shard crash and compares a fixed window
+// against the AIMD per-shard controller on healthy-shard throughput.
 func BenchmarkStore(b *testing.B) {
 	const n, keys, opsPerClient = 5, 12, 12
 	f := dist.NewFailurePattern(n)
@@ -425,6 +431,94 @@ func BenchmarkStore(b *testing.B) {
 	b.Run("shards=4-nobatch", func(b *testing.B) {
 		run(b, register.StoreConfig{Keys: keys, Shards: 4, Window: 8, DisableBatching: true}, 4)
 	})
+	// E22: reply piggybacking at the E19 operating points — msgs/op must
+	// fall strictly below the matching E19 rows.
+	b.Run("shards=1-piggyback", func(b *testing.B) {
+		run(b, register.StoreConfig{Keys: keys, Window: 8, Piggyback: true}, 0)
+	})
+	b.Run("shards=4-piggyback", func(b *testing.B) {
+		run(b, register.StoreConfig{Keys: keys, Shards: 4, Window: 8, Piggyback: true}, 4)
+	})
+	// E23: healthy-shard throughput under a whole-group crash, fixed
+	// window vs the adaptive controller at the same start window: the
+	// controller grows the healthy shard toward the cap (2× start) and
+	// decays the dead shard to 1 instead of pinning client effort.
+	b.Run("crashshard-fixed", func(b *testing.B) {
+		runStoreCrashShard(b, register.StoreConfig{Keys: keys, Shards: 2, Window: 2})
+	})
+	b.Run("crashshard-adaptive", func(b *testing.B) {
+		runStoreCrashShard(b, register.StoreConfig{Keys: keys, Shards: 2, Window: 2, AdaptiveWindow: true, MaxWindow: 4})
+	})
+}
+
+// runStoreCrashShard is the E23 harness: shard 1's whole replica group
+// ({p2, p4} under the canonical n=5/shards=2 partition) is dead from the
+// start, every client sits in shard 0's surviving group, and the run stops
+// when all work routed to the healthy shard is complete. Throughput counts
+// only those guaranteed completions — ops bound for the dead shard can
+// never finish and stay pending by design.
+func runStoreCrashShard(b *testing.B, cfg register.StoreConfig) {
+	const n, opsPerClient = 5, 12
+	s := dist.NewProcSet(1, 3, 5)
+	m, err := cfg.ShardMap(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := dist.NewFailurePattern(n)
+	for _, p := range m.Group(1).Members() {
+		f.CrashAt(p, 0)
+	}
+	scripts, err := register.GenerateStoreWorkload(register.StoreWorkloadConfig{
+		N: n, S: s, Keys: cfg.Keys, Shards: cfg.Shards, OpsPerClient: opsPerClient,
+		WriteRatio: -1, Skew: 1.3, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	healthy := 0 // ops routed to the surviving shard: guaranteed to complete
+	for _, sc := range scripts {
+		for _, op := range sc {
+			if m.Shard(op.Key) == 0 {
+				healthy++
+			}
+		}
+	}
+	prog, err := register.StoreProgram(n, s, cfg, scripts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	avail := m.Available(f.Correct())
+	r := newRunner(b, sim.Config{
+		Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: prog,
+		Scheduler: sim.NewRandomScheduler(0), MaxSteps: 500_000, DisableTrace: true,
+		StopWhen: func(sn *sim.Snapshot) bool {
+			return register.StoreClientsDoneOn(sn, s, avail)
+		},
+	})
+	var steps, msgs, completed int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Reset(int64(i)).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := 0
+		for _, a := range res.Automata {
+			if node, ok := a.(*register.StoreNode); ok {
+				done += node.CompletedOps()
+			}
+		}
+		if done != healthy {
+			b.Fatalf("seed %d completed %d ops, want exactly the %d healthy-shard ops (%s)", i, done, healthy, res.Reason)
+		}
+		completed += int64(done)
+		steps += res.Steps
+		msgs += res.MessagesSent
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
+	reportRun(b, steps, msgs)
 }
 
 // BenchmarkConsensus regenerates experiment E13: the Ω+Σ baseline.

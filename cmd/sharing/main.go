@@ -90,7 +90,8 @@ subcommands:
   register        -n 5 -seed 1
   store           -n 5 -keys 16 -shards 1 -clients 3 -window 4 -ops 16
                   -seeds 20 -workers 0 -skew 1.2 -write 0.5 -crash "5@40"
-                  -crashshard "1@40" -nobatch
+                  -crashshard "1@40" -nobatch -piggyback
+                  -adaptive -maxwindow 16 -stall 16
   consensus       -n 5 -seed 1 -crash "5"
   counterexample  lemma7|lemma11|lemma15|tightness  [-n 5 -k 2 -seed 1]
   emulate         fig3|fig5|fig6  [-n 5 -seed 1]
@@ -438,6 +439,10 @@ func cmdStore(args []string) error {
 	skew := fs.Float64("skew", 1.2, "zipf skew within each shard's keys (0 = uniform)")
 	write := fs.Float64("write", register.DefaultWriteRatio, "write ratio (0 = read-only)")
 	nobatch := fs.Bool("nobatch", false, "disable request batching (one message per request)")
+	piggyback := fs.Bool("piggyback", false, "fold all same-destination traffic of a step (requests of every shard plus pending replies) into one frame per (src,dst)")
+	adaptive := fs.Bool("adaptive", false, "replace the fixed per-shard window with the AIMD controller (grows while ops complete, halves on shard stall)")
+	maxWindow := fs.Int("maxwindow", 0, "adaptive growth cap (0 = 4×window; requires -adaptive)")
+	stall := fs.Int("stall", 0, "client steps a shard may stall before its window halves (0 = default; requires -adaptive)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -449,7 +454,11 @@ func cmdStore(args []string) error {
 	if err != nil {
 		return err
 	}
-	storeCfg := register.StoreConfig{Keys: *keys, Shards: *shards, Window: *window, DisableBatching: *nobatch}
+	storeCfg := register.StoreConfig{
+		Keys: *keys, Shards: *shards, Window: *window,
+		DisableBatching: *nobatch, Piggyback: *piggyback,
+		AdaptiveWindow: *adaptive, MaxWindow: *maxWindow, StallSteps: *stall,
+	}
 	shardMap, err := storeCfg.ShardMap(*n) // validates the whole store config
 	if err != nil {
 		return err
@@ -491,8 +500,12 @@ func cmdStore(args []string) error {
 			}
 		}
 	}
-	fmt.Printf("store on %v, S=%v, keys=%d shards=%d window=%d batching=%v: %d runs × %d scripted ops (%d guaranteed at correct clients)\n",
-		f, s, *keys, shardMap.Shards(), *window, !*nobatch, res.Runs, register.TotalKeyedOps(scripts), opsPerRun)
+	windowDesc := fmt.Sprintf("window=%d", *window)
+	if *adaptive {
+		windowDesc = fmt.Sprintf("window=%d..%d(adaptive)", *window, storeCfg.EffectiveMaxWindow())
+	}
+	fmt.Printf("store on %v, S=%v, keys=%d shards=%d %s batching=%v piggyback=%v: %d runs × %d scripted ops (%d guaranteed at correct clients)\n",
+		f, s, *keys, shardMap.Shards(), windowDesc, !*nobatch, *piggyback, res.Runs, register.TotalKeyedOps(scripts), opsPerRun)
 	if shardMap.Shards() > 1 || *crashShard != "" {
 		fmt.Printf("  layout: %s\n", shardMap)
 		for sh := 0; sh < shardMap.Shards(); sh++ {

@@ -19,6 +19,9 @@ func TestSubcommandsSucceed(t *testing.T) {
 		{"store", "-n", "6", "-keys", "9", "-shards", "3", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "3", "-workers", "2"},
 		{"store", "-n", "6", "-keys", "9", "-shards", "3", "-clients", "2", "-ops", "6", "-seeds", "2", "-crashshard", "2@30"},
 		{"store", "-n", "6", "-keys", "8", "-shards", "2", "-clients", "2", "-ops", "6", "-seeds", "2", "-skew", "0"},
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "3", "-piggyback"},
+		{"store", "-n", "6", "-keys", "9", "-shards", "3", "-clients", "2", "-window", "2", "-ops", "8", "-seeds", "3",
+			"-adaptive", "-maxwindow", "6", "-stall", "8", "-piggyback", "-crashshard", "2@30"},
 		{"consensus", "-n", "4"},
 		{"counterexample", "lemma7", "-n", "4"},
 		{"counterexample", "lemma11", "-n", "5", "-k", "2"},
@@ -66,6 +69,10 @@ func TestSubcommandsFail(t *testing.T) {
 		{"store", "-n", "6", "-keys", "6", "-shards", "3", "-crashshard", "3"},                // shard index out of range
 		{"store", "-n", "6", "-keys", "6", "-shards", "3", "-skew", "0.9"},                    // zipf undefined for s ≤ 1
 		{"store", "-n", "6", "-keys", "6", "-shards", "3", "-crash", "2", "-crashshard", "1"}, // p2 crashed twice
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-window", "0"},                   // window below 1
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-piggyback", "-nobatch"},         // piggyback silently disabled
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-maxwindow", "8"},                // controller knob without -adaptive
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-adaptive", "-maxwindow", "2"},   // cap below start window (default 4)
 		{"explore", "-fig", "bogus"},
 		{"explore", "-fig", "fig4", "-n", "3", "-k", "2"},
 		{"explore", "-fig", "fig2", "-n", "3", "-crash", "3@10"}, // crash at 10 ≥ TimeCap 1

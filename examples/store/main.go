@@ -1,11 +1,13 @@
 // Sharded keyed register store example: the key space is partitioned
 // across disjoint replica groups (one register member set Σ_{S_i} per
 // shard), each process only replicates the keys of its own shard, and
-// clients route every operation to its shard's group — per-shard pipelining
-// windows and per-shard request batches. A seed sweep on the concurrent
-// sweep engine crashes one shard's *entire* replica group mid-run and
-// checks that only that shard's operations stall while every per-key
-// history stays linearizable.
+// clients route every operation to its shard's group — adaptive per-shard
+// pipelining windows and piggybacked per-destination frames (every entry
+// kind a node owes one destination in a step travels in one message). A
+// seed sweep on the concurrent sweep engine crashes one shard's *entire*
+// replica group mid-run and checks that only that shard's operations stall
+// while every per-key history stays linearizable — and that the dead
+// shard's window controller decays to 1 instead of pinning client effort.
 //
 //	go run ./examples/store
 package main
@@ -20,7 +22,13 @@ import (
 
 func main() {
 	const n, keys, shards = 6, 9, 3
-	store := register.StoreConfig{Keys: keys, Shards: shards, Window: 3}
+	store := register.StoreConfig{
+		Keys: keys, Shards: shards, Window: 3,
+		Piggyback:      true, // one combined frame per (src, dst) per step
+		AdaptiveWindow: true, // AIMD per-shard windows; dead shards decay to 1
+		MaxWindow:      6,
+		StallSteps:     8,
+	}
 	shardMap, err := store.ShardMap(n)
 	if err != nil {
 		log.Fatal(err)

@@ -39,7 +39,17 @@ type KeyedOpDesc struct {
 // disjoint replica groups that is simply "per destination", and a request
 // never reaches a process outside its shard's group. With batching disabled
 // (StoreConfig.DisableBatching) each batch carries exactly one entry — the
-// E18/E20 ablation, which pays one message per request.
+// E18/E20 ablation, which pays one message per request. With piggybacking
+// (StoreConfig.Piggyback) every entry kind bound for one destination in one
+// step — query and store requests of all shards plus the step's pending
+// replies — folds into a single storeFrame (the E22 row).
+//
+// Batches travel as pointers and are pooled: on untraced runs the receiver
+// owns a delivered batch (sim.Env.DeliveredOwned) and recycles it into its
+// own free lists once the last recipient has processed it (refs counts the
+// recipients of a group-shared batch), which is what makes the steady-state
+// step path allocation-free. On traced runs the trace retains every payload,
+// ownership is never granted, and the pools simply never fill.
 type (
 	queryEntry struct {
 		Key int
@@ -61,11 +71,123 @@ type (
 		Key int
 		RID int64
 	}
-	queryReqBatch struct{ E []queryEntry }
-	queryRepBatch struct{ E []queryRepEntry }
-	storeReqBatch struct{ E []storeEntry }
-	storeRepBatch struct{ E []storeRepEntry }
+	queryReqBatch struct {
+		E    []queryEntry
+		refs int32
+	}
+	queryRepBatch struct {
+		E    []queryRepEntry
+		refs int32
+	}
+	storeReqBatch struct {
+		E    []storeEntry
+		refs int32
+	}
+	storeRepBatch struct {
+		E    []storeRepEntry
+		refs int32
+	}
+	// storeFrame is the piggybacked combined payload: one frame carries
+	// everything a node has for one destination in one step.
+	storeFrame struct {
+		Q    []queryEntry
+		S    []storeEntry
+		QR   []queryRepEntry
+		SR   []storeRepEntry
+		refs int32
+	}
 )
+
+// release drops one reference and reports whether the caller held the last
+// one (the runner is single-threaded, so no atomics are needed).
+func release(refs *int32) bool {
+	*refs--
+	return *refs <= 0
+}
+
+// batchPoolCap bounds each free list so pool memory tracks the in-flight
+// high-water mark, not run length. It must sit above the largest circulating
+// set (windows × shards × group fan-out), or the overflow drops re-allocate
+// on the next lease and the steady state is no longer allocation-free.
+const batchPoolCap = 1024
+
+// freeList is a capped LIFO free list of one pooled payload type.
+type freeList[T any] struct{ free []*T }
+
+func (l *freeList[T]) get() (*T, bool) {
+	if n := len(l.free); n > 0 {
+		b := l.free[n-1]
+		l.free = l.free[:n-1]
+		return b, true
+	}
+	return nil, false
+}
+
+func (l *freeList[T]) put(b *T) {
+	if len(l.free) < batchPoolCap {
+		l.free = append(l.free, b)
+	}
+}
+
+// batchPool holds recycled batch payloads, one free list per wire type. One
+// pool is shared by every StoreNode of a program instantiation (the runner
+// steps automata single-threadedly, so no locking): requests flow client →
+// replica and replies replica → client, so per-node pools would starve —
+// each side hoards the other's type at its cap while allocating its own —
+// while the shared pool closes the cycle. It survives Reset, so a reused
+// runner stops allocating batches entirely after its first run.
+type batchPool struct {
+	qReq   freeList[queryReqBatch]
+	qRep   freeList[queryRepBatch]
+	sReq   freeList[storeReqBatch]
+	sRep   freeList[storeRepBatch]
+	frames freeList[storeFrame]
+}
+
+func (p *batchPool) getQReq() *queryReqBatch {
+	if b, ok := p.qReq.get(); ok {
+		b.E = b.E[:0]
+		return b
+	}
+	return &queryReqBatch{}
+}
+
+func (p *batchPool) getQRep() *queryRepBatch {
+	if b, ok := p.qRep.get(); ok {
+		b.E = b.E[:0]
+		return b
+	}
+	return &queryRepBatch{}
+}
+
+func (p *batchPool) getSReq() *storeReqBatch {
+	if b, ok := p.sReq.get(); ok {
+		b.E = b.E[:0]
+		return b
+	}
+	return &storeReqBatch{}
+}
+
+func (p *batchPool) getSRep() *storeRepBatch {
+	if b, ok := p.sRep.get(); ok {
+		b.E = b.E[:0]
+		return b
+	}
+	return &storeRepBatch{}
+}
+
+func (p *batchPool) getFrame() *storeFrame {
+	if f, ok := p.frames.get(); ok {
+		f.Q, f.S, f.QR, f.SR = f.Q[:0], f.S[:0], f.QR[:0], f.SR[:0]
+		return f
+	}
+	return &storeFrame{}
+}
+
+// DefaultStallSteps is the adaptive controller's default backpressure
+// threshold: consecutive client steps a shard may hold outstanding
+// operations without completing any before its window is halved.
+const DefaultStallSteps = 16
 
 // StoreConfig parameterizes the keyed register store.
 type StoreConfig struct {
@@ -81,17 +203,37 @@ type StoreConfig struct {
 	// operations a client may have outstanding at once toward one shard,
 	// always on distinct keys (an op whose key is already in flight waits,
 	// preserving per-key program order; an op whose shard's window is full
-	// waits without blocking other shards). 0 or 1 disables pipelining.
+	// waits without blocking other shards). Must be ≥ 1; 1 disables
+	// pipelining. With AdaptiveWindow it is the controller's start value.
 	Window int
 	// DisableBatching sends one request per message instead of coalescing
 	// all same-shard same-destination requests of a step into one batch
 	// (E18/E20).
 	DisableBatching bool
+	// Piggyback folds all of a step's same-destination traffic — query and
+	// store request batches across shards plus the step's pending replies —
+	// into one combined frame per (src, dst) pair (E22). Rejected together
+	// with DisableBatching, which would silently disable it (one entry per
+	// message leaves nothing to fold).
+	Piggyback bool
+	// AdaptiveWindow replaces the fixed per-shard window with an AIMD
+	// controller per (client, shard): the window grows by one per completed
+	// window of operations up to MaxWindow and halves when a shard holds
+	// outstanding operations for StallSteps consecutive client steps
+	// without completing any (crashed-group backpressure), so a degraded
+	// shard's window decays to 1 instead of pinning client effort (E23).
+	AdaptiveWindow bool
+	// MaxWindow caps adaptive growth. 0 defaults to 4×Window; a non-zero
+	// value must be ≥ Window and requires AdaptiveWindow.
+	MaxWindow int
+	// StallSteps is the controller's backpressure threshold. 0 defaults to
+	// DefaultStallSteps; a non-zero value requires AdaptiveWindow.
+	StallSteps int
 }
 
 func (c StoreConfig) window() int {
 	if c.Window < 1 {
-		return 1
+		return 1 // NewStoreNode trusts its arguments; validated paths reject this
 	}
 	return c.Window
 }
@@ -103,9 +245,29 @@ func (c StoreConfig) shards() int {
 	return c.Shards
 }
 
+func (c StoreConfig) maxWindow() int {
+	if c.MaxWindow > 0 {
+		return c.MaxWindow
+	}
+	return 4 * c.window()
+}
+
+func (c StoreConfig) stallSteps() int {
+	if c.StallSteps > 0 {
+		return c.StallSteps
+	}
+	return DefaultStallSteps
+}
+
+// EffectiveMaxWindow returns the adaptive controller's growth cap after
+// defaulting: MaxWindow when set, else 4×Window.
+func (c StoreConfig) EffectiveMaxWindow() int { return c.maxWindow() }
+
 // Validate rejects configurations that would otherwise produce a silently
-// empty or undefined run: a non-positive key space, a negative window, or a
-// shard count the n-process system cannot host.
+// empty, undefined or self-defeating run: a non-positive key space, a window
+// below 1, a shard count the n-process system cannot host, piggybacking
+// combined with DisableBatching (which would silently disable it), or
+// controller knobs without the controller.
 func (c StoreConfig) Validate(n int) error {
 	_, err := c.ShardMap(n)
 	return err
@@ -118,11 +280,26 @@ func (c StoreConfig) ShardMap(n int) (*ShardMap, error) {
 	if c.Keys < 1 {
 		return nil, fmt.Errorf("register: store needs Keys ≥ 1, got %d", c.Keys)
 	}
-	if c.Window < 0 {
-		return nil, fmt.Errorf("register: store window %d is negative", c.Window)
+	if c.Window < 1 {
+		return nil, fmt.Errorf("register: store needs Window ≥ 1, got %d", c.Window)
 	}
 	if c.Shards < 0 {
 		return nil, fmt.Errorf("register: store shard count %d is negative", c.Shards)
+	}
+	if c.Piggyback && c.DisableBatching {
+		return nil, fmt.Errorf("register: Piggyback with DisableBatching would be silently ignored (one entry per message leaves nothing to fold); enable at most one")
+	}
+	if c.MaxWindow < 0 {
+		return nil, fmt.Errorf("register: store MaxWindow %d is negative", c.MaxWindow)
+	}
+	if c.StallSteps < 0 {
+		return nil, fmt.Errorf("register: store StallSteps %d is negative", c.StallSteps)
+	}
+	if !c.AdaptiveWindow && (c.MaxWindow != 0 || c.StallSteps != 0) {
+		return nil, fmt.Errorf("register: MaxWindow/StallSteps require AdaptiveWindow")
+	}
+	if c.AdaptiveWindow && c.MaxWindow != 0 && c.MaxWindow < c.Window {
+		return nil, fmt.Errorf("register: MaxWindow %d below the start Window %d", c.MaxWindow, c.Window)
 	}
 	return NewShardMap(n, c.Keys, c.shards())
 }
@@ -141,6 +318,13 @@ type storeOp struct {
 	acks    dist.ProcSet
 	best    Timestamp
 	bestVal Value
+}
+
+// shardWin is the AIMD controller state of one (client, shard) pair.
+type shardWin struct {
+	cur   int // current window
+	acked int // completions since the last additive increase
+	idle  int // consecutive client steps with outstanding ops, none completed
 }
 
 // StoreNode is the per-process automaton of the sharded keyed register
@@ -164,7 +348,7 @@ type StoreNode struct {
 
 	// Client state: the script split into per-shard FIFO queues (script
 	// order within each shard, which keys make per-key program order), one
-	// pipelining window per shard.
+	// window controller per shard.
 	queues    [][]KeyedOp
 	queued    int // ops remaining across all queues
 	scriptLen int
@@ -173,42 +357,113 @@ type StoreNode struct {
 	pend      []storeOp
 	completed int
 
-	// Per-step per-shard request accumulators, flushed as one batch per
-	// (shard, group member) at the end of the step (reused across steps;
-	// the flushed payload slices are fresh).
+	// Per-(client, shard) window controllers; cur is fixed at cfg.Window
+	// unless AdaptiveWindow is on. maxWin/stall cache the config defaults.
+	win      []shardWin
+	maxWin   int
+	stall    int
+	doneMask uint64 // shards that completed an op this client step
+	load     []int  // outstanding ops per shard, maintained on start/complete
+
+	// Per-step per-shard request accumulators, consumed and cleared by
+	// flush: one pooled batch per (shard, step) shared across the group
+	// (refs counts recipients), or one frame per destination with
+	// piggybacking.
 	qOut [][]queryEntry
 	sOut [][]storeEntry
+
+	// Pooled payload buffers (see batchPool): filled only on untraced runs,
+	// where sim grants the receiver ownership of delivered payloads. Shared
+	// across the nodes of one program instantiation by StoreProgram;
+	// NewStoreNode alone gives the node a private pool.
+	pool *batchPool
+
+	// Piggyback assembly state: the frame under construction per
+	// destination (indexed by ProcID; nil when absent) plus the
+	// deterministic flush order, and the step's deferred replies — a step
+	// delivers at most one message, so they have at most one destination.
+	outFrame []*storeFrame
+	outDsts  []dist.ProcID
+	repDst   dist.ProcID
+	repQ     []queryRepEntry
+	repS     []storeRepEntry
 }
 
 var _ sim.Automaton = (*StoreNode)(nil)
 
 // NewStoreNode builds the store automaton for process self over the given
-// shard map. Prefer StoreProgram, which validates the configuration at
-// construction time; NewStoreNode trusts its arguments (scripts at
-// processes outside S are still ignored at run time, enforcing the
-// S-register access restriction).
+// shard map, with a pool of its own. Prefer StoreProgram, which validates
+// the configuration at construction time and shares one pool across the
+// instantiation; NewStoreNode trusts its arguments (scripts at processes
+// outside S are still ignored at run time, enforcing the S-register access
+// restriction).
 func NewStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, m *ShardMap, script []KeyedOp) *StoreNode {
+	return newStoreNode(self, n, s, cfg, m, script, &batchPool{})
+}
+
+func newStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, m *ShardMap, script []KeyedOp, pool *batchPool) *StoreNode {
 	a := &StoreNode{
 		self:   self,
 		n:      n,
 		s:      s,
 		cfg:    cfg,
 		shards: m,
+		maxWin: cfg.maxWindow(),
+		stall:  cfg.stallSteps(),
+		pool:   pool,
 		ts:     make([][]Timestamp, m.Shards()),
 		val:    make([][]Value, m.Shards()),
 		queues: make([][]KeyedOp, m.Shards()),
+		win:    make([]shardWin, m.Shards()),
+		load:   make([]int, m.Shards()),
 		qOut:   make([][]queryEntry, m.Shards()),
 		sOut:   make([][]storeEntry, m.Shards()),
 	}
 	for sh := 0; sh < m.Shards(); sh++ {
+		a.win[sh].cur = cfg.window()
 		if m.Owns(self, sh) {
 			a.ts[sh] = make([]Timestamp, m.KeysIn(sh))
 			a.val[sh] = make([]Value, m.KeysIn(sh))
 		}
 	}
+	if cfg.Piggyback {
+		a.outFrame = make([]*storeFrame, n+1)
+		// Deferred-reply accumulators, sized for the largest incoming
+		// frame: a client's step sends at most its per-shard window of
+		// entries per kind for every shard routed here.
+		winCap := cfg.window()
+		if cfg.AdaptiveWindow {
+			winCap = a.maxWin
+		}
+		a.repQ = make([]queryRepEntry, 0, winCap*m.Shards())
+		a.repS = make([]storeRepEntry, 0, winCap*m.Shards())
+	}
 	if s.Contains(self) {
+		// Client buffers at their window-bound high-water marks: growing
+		// them per run would make per-run allocations scale with how full
+		// the windows get, i.e. with script length.
+		winCap := cfg.window()
+		if cfg.AdaptiveWindow {
+			winCap = a.maxWin
+		}
+		a.pend = make([]storeOp, 0, winCap*m.Shards())
+		for sh := 0; sh < m.Shards(); sh++ {
+			a.qOut[sh] = make([]queryEntry, 0, winCap)
+			a.sOut[sh] = make([]storeEntry, 0, winCap)
+		}
 		a.scriptLen = len(script)
 		a.queued = len(script)
+		// Exact per-shard queue capacities: append-growth here would scale
+		// construction allocations with script length, muddying the
+		// steady-state-zero measurement that excludes fixed setup. The live
+		// load counters double as the counting scratch (zeroed after).
+		for _, op := range script {
+			a.load[m.Shard(op.Key)]++
+		}
+		for sh := range a.queues {
+			a.queues[sh] = make([]KeyedOp, 0, a.load[sh])
+			a.load[sh] = 0
+		}
 		for _, op := range script {
 			sh := m.Shard(op.Key)
 			a.queues[sh] = append(a.queues[sh], op)
@@ -223,6 +478,12 @@ func NewStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, m *S
 // script attached to a process outside S, a key outside [0, Keys), an
 // unknown op kind — are construction-time errors. n must match the failure
 // pattern the program later runs under.
+//
+// The nodes of one instantiation share a payload pool that also survives
+// runner Resets, which is what keeps the steady-state step path
+// allocation-free on untraced runs. The returned Program is therefore NOT
+// safe for concurrent use by multiple runners — build one Program per
+// worker (StoreSweep does).
 func StoreProgram(n int, s dist.ProcSet, cfg StoreConfig, scripts [][]KeyedOp) (sim.Program, error) {
 	m, err := cfg.ShardMap(n) // the full construction-time validation
 	if err != nil {
@@ -245,12 +506,13 @@ func StoreProgram(n int, s dist.ProcSet, cfg StoreConfig, scripts [][]KeyedOp) (
 			}
 		}
 	}
+	pool := &batchPool{}
 	return func(p dist.ProcID, _ int) sim.Automaton {
 		var script []KeyedOp
 		if int(p) <= len(scripts) {
 			script = scripts[p-1]
 		}
-		return NewStoreNode(p, n, s, cfg, m, script)
+		return newStoreNode(p, n, s, cfg, m, script, pool)
 	}, nil
 }
 
@@ -262,7 +524,7 @@ func (a *StoreNode) Done() bool { return a.queued == 0 && len(a.pend) == 0 }
 // shards of the avail bitmask: nothing queued for and nothing outstanding on
 // an available shard. Operations routed to unavailable shards (a fully
 // crashed replica group) can never complete and are excluded — a crash only
-// degrades its own shard's availability.
+// degrades its own shard.
 func (a *StoreNode) DoneOn(avail uint64) bool {
 	for sh := range a.queues {
 		if avail&(1<<uint(sh)) != 0 && len(a.queues[sh]) > 0 {
@@ -285,6 +547,10 @@ func (a *StoreNode) ScriptedOps() int { return a.scriptLen }
 
 // Shards returns the shard map the node routes by.
 func (a *StoreNode) Shards() *ShardMap { return a.shards }
+
+// WindowOf returns the node's current pipelining window toward one shard:
+// the configured fixed window, or the adaptive controller's current value.
+func (a *StoreNode) WindowOf(sh int) int { return a.winFor(sh) }
 
 // ReplicaStateBytes returns the bytes of per-key replica state this node
 // allocates — the E19 metric: with the key space fixed, sharding shrinks it
@@ -316,39 +582,99 @@ func (a *StoreNode) Step(e *sim.Env) {
 	if payload, from, ok := e.Delivered(); ok {
 		a.onMessage(e, payload, from)
 	}
-	if !a.s.Contains(a.self) || a.Done() {
-		return // not a client (replica only) or script finished
+	if a.s.Contains(a.self) && !a.Done() {
+		a.doneMask = 0
+		a.advance(e)
+		a.adaptWindows()
+		a.start(e)
 	}
-	for sh := range a.qOut {
-		a.qOut[sh] = a.qOut[sh][:0]
-		a.sOut[sh] = a.sOut[sh][:0]
-	}
-	a.advance(e)
-	a.start(e)
+	// Always flush: replicas that are not (active) clients still owe the
+	// step's deferred piggyback replies, and flush consumes and clears
+	// every per-step accumulator.
 	a.flush(e)
 }
 
 func (a *StoreNode) onMessage(e *sim.Env, payload any, from dist.ProcID) {
+	// On untraced runs the runner transfers payload ownership to this node
+	// (sim's send-buffer lease contract): the last recipient of a batch
+	// recycles it into its own pools once it is fully processed.
+	owned := e.DeliveredOwned()
 	switch m := payload.(type) {
-	case queryReqBatch:
-		reps := make([]queryRepEntry, 0, len(m.E))
-		for _, q := range m.E {
+	case *queryReqBatch:
+		a.serveQueries(e, m.E, from)
+		if owned && release(&m.refs) {
+			a.pool.qReq.put(m)
+		}
+	case *storeReqBatch:
+		a.serveStores(e, m.E, from)
+		if owned && release(&m.refs) {
+			a.pool.sReq.put(m)
+		}
+	case *queryRepBatch:
+		a.absorbQueryReps(m.E, from)
+		if owned && release(&m.refs) {
+			a.pool.qRep.put(m)
+		}
+	case *storeRepBatch:
+		a.absorbStoreReps(m.E, from)
+		if owned && release(&m.refs) {
+			a.pool.sRep.put(m)
+		}
+	case *storeFrame:
+		a.serveQueries(e, m.Q, from)
+		a.serveStores(e, m.S, from)
+		a.absorbQueryReps(m.QR, from)
+		a.absorbStoreReps(m.SR, from)
+		if owned && release(&m.refs) {
+			a.pool.frames.put(m)
+		}
+	}
+}
+
+// serveQueries answers a batch of query requests from the node's replica
+// state: immediately as one reply batch (or one message per entry with
+// batching disabled), or deferred into the step's reply accumulator for
+// flush to fold into the destination's frame when piggybacking.
+func (a *StoreNode) serveQueries(e *sim.Env, entries []queryEntry, from dist.ProcID) {
+	if a.cfg.Piggyback {
+		for _, q := range entries {
 			sh, loc, ok := a.locate(q.Key)
 			if !ok {
 				continue // misrouted: not this node's shard
 			}
-			reps = append(reps, queryRepEntry{Key: q.Key, RID: q.RID, TS: a.ts[sh][loc], V: a.val[sh][loc]})
+			a.repQ = append(a.repQ, queryRepEntry{Key: q.Key, RID: q.RID, TS: a.ts[sh][loc], V: a.val[sh][loc]})
+			a.repDst = from
 		}
+		return
+	}
+	var b *queryRepBatch
+	for _, q := range entries {
+		sh, loc, ok := a.locate(q.Key)
+		if !ok {
+			continue
+		}
+		if b == nil {
+			b = a.pool.getQRep()
+		}
+		b.E = append(b.E, queryRepEntry{Key: q.Key, RID: q.RID, TS: a.ts[sh][loc], V: a.val[sh][loc]})
 		if a.cfg.DisableBatching {
-			for i := range reps {
-				e.Send(from, queryRepBatch{E: reps[i : i+1 : i+1]})
-			}
-		} else if len(reps) > 0 {
-			e.Send(from, queryRepBatch{E: reps})
+			b.refs = 1
+			e.Send(from, b)
+			b = nil
 		}
-	case storeReqBatch:
-		reps := make([]storeRepEntry, 0, len(m.E))
-		for _, s := range m.E {
+	}
+	if b != nil {
+		b.refs = 1
+		e.Send(from, b)
+	}
+}
+
+// serveStores applies a batch of store (phase-2) requests to the replica
+// state and acknowledges them, with the same three delivery modes as
+// serveQueries.
+func (a *StoreNode) serveStores(e *sim.Env, entries []storeEntry, from dist.ProcID) {
+	if a.cfg.Piggyback {
+		for _, s := range entries {
 			sh, loc, ok := a.locate(s.Key)
 			if !ok {
 				continue
@@ -356,29 +682,53 @@ func (a *StoreNode) onMessage(e *sim.Env, payload any, from dist.ProcID) {
 			if a.ts[sh][loc].Less(s.TS) {
 				a.ts[sh][loc], a.val[sh][loc] = s.TS, s.V
 			}
-			reps = append(reps, storeRepEntry{Key: s.Key, RID: s.RID})
+			a.repS = append(a.repS, storeRepEntry{Key: s.Key, RID: s.RID})
+			a.repDst = from
 		}
+		return
+	}
+	var b *storeRepBatch
+	for _, s := range entries {
+		sh, loc, ok := a.locate(s.Key)
+		if !ok {
+			continue
+		}
+		if a.ts[sh][loc].Less(s.TS) {
+			a.ts[sh][loc], a.val[sh][loc] = s.TS, s.V
+		}
+		if b == nil {
+			b = a.pool.getSRep()
+		}
+		b.E = append(b.E, storeRepEntry{Key: s.Key, RID: s.RID})
 		if a.cfg.DisableBatching {
-			for i := range reps {
-				e.Send(from, storeRepBatch{E: reps[i : i+1 : i+1]})
-			}
-		} else if len(reps) > 0 {
-			e.Send(from, storeRepBatch{E: reps})
+			b.refs = 1
+			e.Send(from, b)
+			b = nil
 		}
-	case queryRepBatch:
-		for _, rep := range m.E {
-			if op := a.lookup(rep.Key, rep.RID, 1); op != nil {
-				op.acks = op.acks.Add(from)
-				if op.best.Less(rep.TS) {
-					op.best, op.bestVal = rep.TS, rep.V
-				}
+	}
+	if b != nil {
+		b.refs = 1
+		e.Send(from, b)
+	}
+}
+
+// absorbQueryReps credits query replies to their outstanding phase-1 ops.
+func (a *StoreNode) absorbQueryReps(entries []queryRepEntry, from dist.ProcID) {
+	for _, rep := range entries {
+		if op := a.lookup(rep.Key, rep.RID, 1); op != nil {
+			op.acks = op.acks.Add(from)
+			if op.best.Less(rep.TS) {
+				op.best, op.bestVal = rep.TS, rep.V
 			}
 		}
-	case storeRepBatch:
-		for _, rep := range m.E {
-			if op := a.lookup(rep.Key, rep.RID, 2); op != nil {
-				op.acks = op.acks.Add(from)
-			}
+	}
+}
+
+// absorbStoreReps credits store acks to their outstanding phase-2 ops.
+func (a *StoreNode) absorbStoreReps(entries []storeRepEntry, from dist.ProcID) {
+	for _, rep := range entries {
+		if op := a.lookup(rep.Key, rep.RID, 2); op != nil {
+			op.acks = op.acks.Add(from)
 		}
 	}
 }
@@ -404,15 +754,65 @@ func (a *StoreNode) inFlight(key int) bool {
 	return false
 }
 
-// shardLoad counts the outstanding ops routed to one shard.
-func (a *StoreNode) shardLoad(sh int) int {
-	load := 0
-	for i := range a.pend {
-		if a.pend[i].shard == sh {
-			load++
+// shardLoad returns the outstanding ops routed to one shard, maintained
+// incrementally on start/complete so neither the window-fill loop nor the
+// adaptive controller rescans pend.
+func (a *StoreNode) shardLoad(sh int) int { return a.load[sh] }
+
+// winFor returns the current pipelining window toward one shard.
+func (a *StoreNode) winFor(sh int) int {
+	if a.cfg.AdaptiveWindow {
+		return a.win[sh].cur
+	}
+	return a.cfg.window()
+}
+
+// noteCompletion feeds one completed op into the shard's controller: the
+// additive-increase half of AIMD, +1 per completed window, capped at
+// MaxWindow. Completion also clears the shard's stall clock (via doneMask
+// in adaptWindows).
+func (a *StoreNode) noteCompletion(sh int) {
+	a.doneMask |= 1 << uint(sh)
+	if !a.cfg.AdaptiveWindow {
+		return
+	}
+	w := &a.win[sh]
+	w.acked++
+	if w.acked >= w.cur {
+		w.acked = 0
+		if w.cur < a.maxWin {
+			w.cur++
 		}
 	}
-	return load
+}
+
+// adaptWindows runs the multiplicative-decrease half of the controller once
+// per client step, after advance has retired the step's completions: a
+// shard that held outstanding ops for stall consecutive client steps
+// without completing any (a stalled or dead quorum — backpressure) has its
+// window halved, decaying to the floor of 1 under a fully crashed group.
+// Controller state is a pure function of the node's observation sequence,
+// so sweep verdicts stay bit-identical across worker counts.
+func (a *StoreNode) adaptWindows() {
+	if !a.cfg.AdaptiveWindow {
+		return
+	}
+	for sh := range a.win {
+		w := &a.win[sh]
+		if a.doneMask&(1<<uint(sh)) != 0 || a.load[sh] == 0 {
+			w.idle = 0
+			continue
+		}
+		w.idle++
+		if w.idle >= a.stall {
+			w.idle = 0
+			w.acked = 0
+			w.cur /= 2
+			if w.cur < 1 {
+				w.cur = 1
+			}
+		}
+	}
 }
 
 // quorum returns the responder set an op must cover: the Σ_S trust list
@@ -470,12 +870,16 @@ func (a *StoreNode) advance(e *sim.Env) {
 			a.sOut[op.shard] = append(a.sOut[op.shard], storeEntry{Key: op.key, RID: op.rid, TS: st, V: v})
 			kept = append(kept, op)
 		case 2:
-			desc := KeyedOpDesc{Key: op.key, Kind: op.kind, Arg: op.arg}
-			if op.kind == ReadOp {
-				desc.Ret = op.bestVal
+			if e.OpsRecorded() {
+				desc := KeyedOpDesc{Key: op.key, Kind: op.kind, Arg: op.arg}
+				if op.kind == ReadOp {
+					desc.Ret = op.bestVal
+				}
+				e.Return(op.seq, desc)
 			}
-			e.Return(op.seq, desc)
 			a.completed++
+			a.load[op.shard]--
+			a.noteCompletion(op.shard)
 			// Completed: dropped from the pending window.
 		}
 	}
@@ -488,8 +892,8 @@ func (a *StoreNode) advance(e *sim.Env) {
 // blocking keeps per-client per-key program order; other shards keep
 // flowing, so a slow or dead shard never stalls the rest).
 func (a *StoreNode) start(e *sim.Env) {
-	w := a.cfg.window()
 	for sh := range a.queues {
+		w := a.winFor(sh)
 		for len(a.queues[sh]) > 0 && a.shardLoad(sh) < w {
 			op := a.queues[sh][0]
 			if a.inFlight(op.Key) {
@@ -499,7 +903,9 @@ func (a *StoreNode) start(e *sim.Env) {
 			a.queued--
 			a.opSeq++
 			a.rid++
-			e.Invoke(a.opSeq, KeyedOpDesc{Key: op.Key, Kind: op.Kind, Arg: op.Arg})
+			if e.OpsRecorded() {
+				e.Invoke(a.opSeq, KeyedOpDesc{Key: op.Key, Kind: op.Kind, Arg: op.Arg})
+			}
 			pend := storeOp{
 				key:   op.Key,
 				shard: sh,
@@ -514,14 +920,25 @@ func (a *StoreNode) start(e *sim.Env) {
 				pend.best, pend.bestVal = a.ts[s][loc], a.val[s][loc]
 			}
 			a.pend = append(a.pend, pend)
+			a.load[sh]++
 			a.qOut[sh] = append(a.qOut[sh], queryEntry{Key: op.Key, RID: a.rid})
 		}
 	}
 }
 
-// sendToGroup sends payload to every member of the set except self (the
-// local replica, when a member, was already accounted for in-process).
-func (a *StoreNode) sendToGroup(e *sim.Env, group dist.ProcSet, payload any) {
+// sendShared sends payload to every member of group except self (the local
+// replica, when a member, was already accounted for in-process) after
+// setting *refs to the recipient count. It reports whether anything was
+// sent; on false the caller still owns the batch and should recycle it.
+func (a *StoreNode) sendShared(e *sim.Env, group dist.ProcSet, payload any, refs *int32) bool {
+	n := int32(group.Len())
+	if group.Contains(a.self) {
+		n--
+	}
+	*refs = n
+	if n == 0 {
+		return false
+	}
 	for set := group; !set.IsEmpty(); {
 		p := set.Min()
 		set = set.Remove(p)
@@ -529,33 +946,112 @@ func (a *StoreNode) sendToGroup(e *sim.Env, group dist.ProcSet, payload any) {
 			e.Send(p, payload)
 		}
 	}
+	return true
 }
 
-// flush sends the step's accumulated requests: one batch per (shard, group
-// member), or one message per entry when batching is disabled. Requests
-// only travel to their shard's replica group — the routing that keeps
-// quorum traffic off processes outside the group.
+// flush sends the step's accumulated requests — one pooled batch per
+// (shard, group member) built once per shard and shared across the group,
+// one message per entry when batching is disabled, or one combined frame
+// per destination when piggybacking — and clears every per-step
+// accumulator. Requests only travel to their shard's replica group — the
+// routing that keeps quorum traffic off processes outside the group.
 func (a *StoreNode) flush(e *sim.Env) {
+	if a.cfg.Piggyback {
+		a.flushPiggyback(e)
+		return
+	}
 	for sh := range a.qOut {
 		if len(a.qOut[sh]) > 0 {
 			group := a.shards.Group(sh)
 			if a.cfg.DisableBatching {
 				for _, q := range a.qOut[sh] {
-					a.sendToGroup(e, group, queryReqBatch{E: []queryEntry{q}})
+					b := a.pool.getQReq()
+					b.E = append(b.E, q)
+					if !a.sendShared(e, group, b, &b.refs) {
+						a.pool.qReq.put(b)
+					}
 				}
 			} else {
-				a.sendToGroup(e, group, queryReqBatch{E: append([]queryEntry(nil), a.qOut[sh]...)})
+				// One snapshot per (shard, step), shared by every member.
+				b := a.pool.getQReq()
+				b.E = append(b.E, a.qOut[sh]...)
+				if !a.sendShared(e, group, b, &b.refs) {
+					a.pool.qReq.put(b)
+				}
 			}
+			a.qOut[sh] = a.qOut[sh][:0]
 		}
 		if len(a.sOut[sh]) > 0 {
 			group := a.shards.Group(sh)
 			if a.cfg.DisableBatching {
 				for _, s := range a.sOut[sh] {
-					a.sendToGroup(e, group, storeReqBatch{E: []storeEntry{s}})
+					b := a.pool.getSReq()
+					b.E = append(b.E, s)
+					if !a.sendShared(e, group, b, &b.refs) {
+						a.pool.sReq.put(b)
+					}
 				}
 			} else {
-				a.sendToGroup(e, group, storeReqBatch{E: append([]storeEntry(nil), a.sOut[sh]...)})
+				b := a.pool.getSReq()
+				b.E = append(b.E, a.sOut[sh]...)
+				if !a.sendShared(e, group, b, &b.refs) {
+					a.pool.sReq.put(b)
+				}
 			}
+			a.sOut[sh] = a.sOut[sh][:0]
 		}
 	}
+}
+
+// flushPiggyback folds everything the step produced for one destination —
+// the request snapshots of every shard whose group contains it plus the
+// step's deferred replies — into a single frame per (src, dst) pair, sent
+// in deterministic order (shards ascending, members ascending, the reply
+// destination where it falls).
+func (a *StoreNode) flushPiggyback(e *sim.Env) {
+	for sh := range a.qOut {
+		if len(a.qOut[sh]) == 0 && len(a.sOut[sh]) == 0 {
+			continue
+		}
+		group := a.shards.Group(sh)
+		for set := group; !set.IsEmpty(); {
+			p := set.Min()
+			set = set.Remove(p)
+			if p == a.self {
+				continue
+			}
+			f := a.frameFor(p)
+			f.Q = append(f.Q, a.qOut[sh]...)
+			f.S = append(f.S, a.sOut[sh]...)
+		}
+		a.qOut[sh] = a.qOut[sh][:0]
+		a.sOut[sh] = a.sOut[sh][:0]
+	}
+	if a.repDst != dist.None && (len(a.repQ) > 0 || len(a.repS) > 0) {
+		f := a.frameFor(a.repDst)
+		f.QR = append(f.QR, a.repQ...)
+		f.SR = append(f.SR, a.repS...)
+	}
+	a.repQ = a.repQ[:0]
+	a.repS = a.repS[:0]
+	a.repDst = dist.None
+	for _, p := range a.outDsts {
+		f := a.outFrame[p]
+		a.outFrame[p] = nil
+		f.refs = 1
+		e.Send(p, f)
+	}
+	a.outDsts = a.outDsts[:0]
+}
+
+// frameFor returns the frame under construction for destination p, leasing
+// a pooled one on first use this step and recording the flush order.
+func (a *StoreNode) frameFor(p dist.ProcID) *storeFrame {
+	if f := a.outFrame[p]; f != nil {
+		return f
+	}
+	f := a.pool.getFrame()
+	a.outFrame[p] = f
+	a.outDsts = append(a.outDsts, p)
+	return f
 }

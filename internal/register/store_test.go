@@ -257,10 +257,10 @@ func TestStoreProgramConstructionErrors(t *testing.T) {
 	const n = 3
 	s := dist.NewProcSet(1, 2)
 	valid := [][]KeyedOp{{{Key: 0, Kind: ReadOp}}}
-	if _, err := StoreProgram(n, s, StoreConfig{Keys: 2}, valid); err != nil {
+	if _, err := StoreProgram(n, s, StoreConfig{Keys: 2, Window: 1}, valid); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}
-	if _, err := StoreProgram(n, s, StoreConfig{Keys: 3, Shards: 3}, valid); err != nil {
+	if _, err := StoreProgram(n, s, StoreConfig{Keys: 3, Shards: 3, Window: 1}, valid); err != nil {
 		t.Fatalf("valid sharded config rejected: %v", err)
 	}
 	cases := []struct {
@@ -268,15 +268,17 @@ func TestStoreProgramConstructionErrors(t *testing.T) {
 		cfg     StoreConfig
 		scripts [][]KeyedOp
 	}{
-		{"no keys", StoreConfig{Keys: 0}, valid},
+		{"no keys", StoreConfig{Keys: 0, Window: 1}, valid},
+		{"zero window", StoreConfig{Keys: 2}, valid},
 		{"negative window", StoreConfig{Keys: 2, Window: -1}, valid},
-		{"negative shards", StoreConfig{Keys: 2, Shards: -1}, valid},
-		{"more shards than keys", StoreConfig{Keys: 2, Shards: 3}, valid},
-		{"more shards than processes", StoreConfig{Keys: 8, Shards: 4}, valid},
-		{"script outside S", StoreConfig{Keys: 2}, [][]KeyedOp{nil, nil, {{Key: 0, Kind: ReadOp}}}},
-		{"key out of range", StoreConfig{Keys: 2}, [][]KeyedOp{{{Key: 2, Kind: ReadOp}}}},
-		{"negative key", StoreConfig{Keys: 2}, [][]KeyedOp{{{Key: -1, Kind: ReadOp}}}},
-		{"bad op kind", StoreConfig{Keys: 2}, [][]KeyedOp{{{Key: 0}}}},
+		{"negative shards", StoreConfig{Keys: 2, Window: 1, Shards: -1}, valid},
+		{"more shards than keys", StoreConfig{Keys: 2, Window: 1, Shards: 3}, valid},
+		{"more shards than processes", StoreConfig{Keys: 8, Window: 1, Shards: 4}, valid},
+		{"piggyback with batching disabled", StoreConfig{Keys: 2, Window: 1, Piggyback: true, DisableBatching: true}, valid},
+		{"script outside S", StoreConfig{Keys: 2, Window: 1}, [][]KeyedOp{nil, nil, {{Key: 0, Kind: ReadOp}}}},
+		{"key out of range", StoreConfig{Keys: 2, Window: 1}, [][]KeyedOp{{{Key: 2, Kind: ReadOp}}}},
+		{"negative key", StoreConfig{Keys: 2, Window: 1}, [][]KeyedOp{{{Key: -1, Kind: ReadOp}}}},
+		{"bad op kind", StoreConfig{Keys: 2, Window: 1}, [][]KeyedOp{{{Key: 0}}}},
 	}
 	for _, tc := range cases {
 		if _, err := StoreProgram(n, s, tc.cfg, tc.scripts); err == nil {
@@ -286,16 +288,32 @@ func TestStoreProgramConstructionErrors(t *testing.T) {
 }
 
 func TestStoreConfigValidate(t *testing.T) {
-	if err := (StoreConfig{Keys: 4, Shards: 2, Window: 3}).Validate(5); err != nil {
-		t.Fatalf("valid config rejected: %v", err)
+	for name, cfg := range map[string]StoreConfig{
+		"plain":               {Keys: 4, Shards: 2, Window: 3},
+		"piggyback":           {Keys: 4, Window: 2, Piggyback: true},
+		"batching off":        {Keys: 4, Window: 2, DisableBatching: true},
+		"adaptive defaults":   {Keys: 4, Window: 2, AdaptiveWindow: true},
+		"adaptive configured": {Keys: 4, Window: 2, AdaptiveWindow: true, MaxWindow: 8, StallSteps: 10},
+		"adaptive max=window": {Keys: 4, Window: 2, AdaptiveWindow: true, MaxWindow: 2},
+	} {
+		if err := cfg.Validate(5); err != nil {
+			t.Fatalf("%s: valid config rejected: %v", name, err)
+		}
 	}
 	for name, cfg := range map[string]StoreConfig{
-		"zero keys":       {Keys: 0},
-		"negative keys":   {Keys: -3},
-		"negative window": {Keys: 2, Window: -1},
-		"negative shards": {Keys: 2, Shards: -2},
-		"shards > keys":   {Keys: 2, Shards: 3},
-		"shards > n":      {Keys: 16, Shards: 6},
+		"zero keys":             {Keys: 0, Window: 1},
+		"negative keys":         {Keys: -3, Window: 1},
+		"zero window":           {Keys: 2},
+		"negative window":       {Keys: 2, Window: -1},
+		"negative shards":       {Keys: 2, Window: 1, Shards: -2},
+		"shards > keys":         {Keys: 2, Window: 1, Shards: 3},
+		"shards > n":            {Keys: 16, Window: 1, Shards: 6},
+		"piggyback + nobatch":   {Keys: 2, Window: 1, Piggyback: true, DisableBatching: true},
+		"negative maxwindow":    {Keys: 2, Window: 1, AdaptiveWindow: true, MaxWindow: -4},
+		"maxwindow < window":    {Keys: 2, Window: 4, AdaptiveWindow: true, MaxWindow: 2},
+		"negative stall":        {Keys: 2, Window: 1, AdaptiveWindow: true, StallSteps: -1},
+		"maxwindow no adaptive": {Keys: 2, Window: 1, MaxWindow: 8},
+		"stall no adaptive":     {Keys: 2, Window: 1, StallSteps: 8},
 	} {
 		if err := cfg.Validate(5); err == nil {
 			t.Fatalf("%s: StoreConfig.Validate must reject %+v", name, cfg)

@@ -43,8 +43,11 @@ func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
 		return nil, fmt.Errorf("register: StoreSweep needs a failure pattern")
 	}
 	n := cfg.Pattern.N()
-	prog, err := StoreProgram(n, cfg.S, cfg.Store, cfg.Scripts)
-	if err != nil {
+	// Construction-time validation up front, so callers get an error rather
+	// than a worker panic; the per-worker factory below rebuilds the
+	// (already validated) program, because a StoreProgram's nodes share a
+	// payload pool and must not be instantiated by concurrent runners.
+	if _, err := StoreProgram(n, cfg.S, cfg.Store, cfg.Scripts); err != nil {
 		return nil, err
 	}
 	shardMap, err := cfg.Store.ShardMap(n) // valid: StoreProgram validated cfg.Store
@@ -81,10 +84,14 @@ func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
 	}
 	return sweep.Run(sweep.Config{
 		Sim: func() sim.Config {
+			// Per-worker state: Σ_S oracles memoize boxed outputs, and a
+			// store program's nodes share one payload pool.
+			prog, err := StoreProgram(n, cfg.S, cfg.Store, cfg.Scripts)
+			if err != nil {
+				panic(err) // unreachable: validated above with identical inputs
+			}
 			return sim.Config{
-				Pattern: cfg.Pattern,
-				// Σ_S oracles memoize boxed outputs, so every worker gets
-				// its own.
+				Pattern:  cfg.Pattern,
 				History:  fd.NewSigmaS(cfg.Pattern, cfg.S, stab),
 				Program:  prog,
 				MaxSteps: maxSteps,

@@ -54,7 +54,15 @@ type Env struct {
 	now  dist.Time // not exposed: the model's clock is inaccessible to processes
 
 	delivered *Message
-	layer     Layer
+	// ownDelivered grants the stepping automaton ownership of the delivered
+	// payload's buffers (see DeliveredOwned). Set by the Runner on untraced
+	// runs; never set by the explorer, whose branches share pending messages.
+	ownDelivered bool
+	// opsMuted drops Invoke/Return records: the Runner sets it on untraced
+	// runs, where nothing would ever read them, so automata on the hot path
+	// do not pay the interface boxing of their op descriptors.
+	opsMuted bool
+	layer    Layer
 	// The failure detector queried by QueryFD: queryFD when non-nil (stacked
 	// layers bind the emulator below once), else history (the oracle, bound
 	// once per runner — no per-step closure).
@@ -98,6 +106,28 @@ func (e *Env) Delivered() (payload any, from dist.ProcID, ok bool) {
 	}
 	return e.delivered.Payload, e.delivered.From, true
 }
+
+// DeliveredOwned reports whether the automaton may take ownership of the
+// payload returned by Delivered once it has finished processing it — the
+// receiving half of the send-buffer lease contract that lets automata pool
+// their message payloads:
+//
+//   - A payload handed to Send is immutable from the moment of the call:
+//     the channel (and, when tracing is on, the trace) retain it by
+//     reference. A sender that wants to reuse payload buffers must
+//     therefore wait until the payload comes back to it through a
+//     delivery whose DeliveredOwned is true.
+//   - When DeliveredOwned reports true, the runtime guarantees that no
+//     other component references the delivered payload after this step:
+//     the Runner grants it exactly on untraced runs (DisableTrace), where
+//     neither the trace nor any checker can observe the payload later.
+//   - When it reports false the payload must be treated as immutable
+//     shared state. The explorer always reports false — its branches share
+//     pending messages, and a recycled payload would mutate sibling
+//     states.
+//
+// Automata that never reuse payload buffers can ignore this entirely.
+func (e *Env) DeliveredOwned() bool { return e.delivered != nil && e.ownDelivered }
 
 // QueryFD queries the failure detector and returns H(p, t) for the step's
 // time t. Repeated calls within one step return the same value (the model
@@ -147,14 +177,28 @@ func (e *Env) Decide(v any) {
 	e.decision = v
 }
 
+// OpsRecorded reports whether Invoke/Return records are kept this run.
+// They exist only in the trace, so the Runner mutes them on untraced runs;
+// automata on a hot path should gate their Invoke/Return calls on this so
+// the op descriptor is never boxed at the call site (escape analysis cannot
+// elide the conversion to any even when Invoke drops the record).
+func (e *Env) OpsRecorded() bool { return !e.opsMuted }
+
 // Invoke records the invocation of a shared-object operation (for
 // linearizability checking). seq correlates the invocation with its Return.
+// Muted on untraced runs (see OpsRecorded).
 func (e *Env) Invoke(seq int64, desc any) {
+	if e.opsMuted {
+		return
+	}
 	e.ops = append(e.ops, opEvent{ret: false, seq: seq, payload: desc})
 }
 
 // Return records the response of a previously invoked operation.
 func (e *Env) Return(seq int64, desc any) {
+	if e.opsMuted {
+		return
+	}
 	e.ops = append(e.ops, opEvent{ret: true, seq: seq, payload: desc})
 }
 
@@ -206,6 +250,8 @@ func (s *Stack) Step(e *Env) {
 		sub.n = e.n
 		sub.now = e.now
 		sub.delivered = nil
+		sub.ownDelivered = false
+		sub.opsMuted = e.opsMuted
 		sub.fdCache = nil
 		sub.fdQueried = false
 		sub.sends = sub.sends[:0]
@@ -214,6 +260,7 @@ func (s *Stack) Step(e *Env) {
 		sub.ops = sub.ops[:0]
 		if e.delivered != nil && e.delivered.Layer == Layer(i) {
 			sub.delivered = e.delivered
+			sub.ownDelivered = e.ownDelivered
 		}
 		if i == 0 {
 			sub.queryFD = e.queryFD

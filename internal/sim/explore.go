@@ -365,6 +365,7 @@ func (w *xworker) branch(s *xstate, depth int, p dist.ProcID, msgIdx int) {
 	env.n = w.e.n
 	env.now = c.t
 	env.delivered = delivered
+	env.ownDelivered = false // pending messages are shared across branches
 	env.layer = 0
 	env.queryFD = nil
 	env.fdCache = nil

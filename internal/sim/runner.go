@@ -446,6 +446,12 @@ func (r *Runner) step(p dist.ProcID, t dist.Time, msg *Message) {
 	e.n = r.n
 	e.now = t
 	e.delivered = msg
+	// Untraced runs retain no reference to a payload beyond its delivery
+	// step, so the automaton may take ownership of delivered buffers and
+	// skip op recording (the send-buffer lease contract; see
+	// Env.DeliveredOwned and Env.OpsRecorded).
+	e.ownDelivered = r.tr == nil
+	e.opsMuted = r.tr == nil
 	e.layer = 0
 	e.queryFD = nil
 	e.fdCache = nil

@@ -5,6 +5,13 @@
 #   scripts/bench.sh                 # full suite, 10 runs each (benchstat-ready)
 #   scripts/bench.sh Fig2            # only benchmarks matching the pattern
 #   COUNT=3 scripts/bench.sh         # fewer repetitions
+#   BENCHTIME=1x scripts/bench.sh    # one iteration per benchmark (CI smoke)
+#   JSON_OUT=BENCH_PR5.json scripts/bench.sh Store
+#                                    # additionally write every benchmark row
+#                                    # as machine-readable JSON (name,
+#                                    # iterations, ns_per_op, msgs_per_op,
+#                                    # ops_per_sec, allocs_per_op, ...) so the
+#                                    # perf trajectory is trackable across PRs
 #
 # Typical trajectory tracking:
 #   scripts/bench.sh > bench_old.txt
@@ -15,6 +22,47 @@ set -eu
 
 PATTERN="${1:-.}"
 COUNT="${COUNT:-10}"
+BENCHTIME="${BENCHTIME:-}"
 
 cd "$(dirname "$0")/.."
-exec go test -run=NONE -bench="$PATTERN" -benchmem -count="$COUNT" .
+
+set -- -run=NONE "-bench=$PATTERN" -benchmem "-count=$COUNT"
+if [ -n "$BENCHTIME" ]; then
+  set -- "$@" "-benchtime=$BENCHTIME"
+fi
+
+if [ -z "${JSON_OUT:-}" ]; then
+  exec go test "$@" .
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+# Capture first so a benchmark failure fails the script (a plain pipe would
+# swallow go test's exit status under POSIX sh).
+if ! go test "$@" . >"$TMP" 2>&1; then
+  cat "$TMP"
+  exit 1
+fi
+cat "$TMP"
+# Each benchmark line is "BenchmarkName[-GOMAXPROCS] iters v1 unit1 v2 unit2 ..."
+# and becomes one JSON object keyed by sanitized unit names.
+awk '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+    row = sprintf("{\"name\":\"%s\",\"iterations\":%s", name, $2)
+    for (i = 3; i + 1 <= NF; i += 2) {
+      unit = $(i + 1)
+      gsub(/\//, "_per_", unit)
+      gsub(/-/, "_", unit)
+      row = row sprintf(",\"%s\":%s", unit, $i)
+    }
+    rows[n++] = row "}"
+  }
+  END {
+    printf "[\n"
+    for (i = 0; i < n; i++) printf "  %s%s\n", rows[i], (i < n - 1 ? "," : "")
+    printf "]\n"
+  }
+' "$TMP" >"$JSON_OUT"
+echo "wrote $(grep -c '"name"' "$JSON_OUT") benchmark rows to $JSON_OUT" >&2
