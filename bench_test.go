@@ -358,6 +358,11 @@ func BenchmarkABDRegister(b *testing.B) {
 // E19 row, every entry kind for one destination folded into one frame per
 // step; E23 runs a whole-group shard crash and compares a fixed window
 // against the AIMD per-shard controller on healthy-shard throughput.
+// E24 turns the adversarial network on (loss, duplication, bounded extra
+// delay) with retransmission armed: every op must still complete, and the
+// price shows up as retransmits/op, drops/op and dups/op. E25 adds a
+// scripted partition that heals mid-run on top of the E24 faults — parked
+// ops resume after the heal, so completion stays total.
 func BenchmarkStore(b *testing.B) {
 	const n, keys, opsPerClient = 5, 12, 12
 	f := dist.NewFailurePattern(n)
@@ -449,6 +454,19 @@ func BenchmarkStore(b *testing.B) {
 	b.Run("crashshard-adaptive", func(b *testing.B) {
 		runStoreCrashShard(b, register.StoreConfig{Keys: keys, Shards: 2, Window: 2, AdaptiveWindow: true, MaxWindow: 4})
 	})
+	// E24: lossy, duplicating, delaying network with retransmission armed.
+	b.Run("faults-loss", func(b *testing.B) {
+		runStoreFaults(b,
+			register.StoreConfig{Keys: keys, Shards: 4, Window: 8, Retransmit: true, RTO: 16},
+			false)
+	})
+	// E25: the E24 network plus a partition between two shard groups that
+	// heals mid-run — parked ops must resume and complete.
+	b.Run("faults-partition", func(b *testing.B) {
+		runStoreFaults(b,
+			register.StoreConfig{Keys: keys, Shards: 4, Window: 8, Retransmit: true, RTO: 16},
+			true)
+	})
 }
 
 // runStoreCrashShard is the E23 harness: shard 1's whole replica group
@@ -518,6 +536,79 @@ func runStoreCrashShard(b *testing.B, cfg register.StoreConfig) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
+	reportRun(b, steps, msgs)
+}
+
+// runStoreFaults is the E24/E25 harness: a failure-free process set under
+// an adversarial network (5% loss, 5% duplication, up to 3 ticks of extra
+// delay), with retransmission armed so every scripted op still completes.
+// withPartition adds the E25 twist: two shard replica groups cannot talk
+// during [50, 400) and heal afterwards, so ops park and resume instead of
+// failing. The fault price is reported as retransmits/op, drops/op and
+// dups/op on top of the usual msgs/op.
+func runStoreFaults(b *testing.B, cfg register.StoreConfig, withPartition bool) {
+	const n, opsPerClient = 5, 12
+	f := dist.NewFailurePattern(n)
+	s := dist.RangeSet(1, 3)
+	m, err := cfg.ShardMap(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp := &sim.FaultPlan{Seed: 7, Loss: 0.05, Dup: 0.05, MaxDelay: 3}
+	if withPartition {
+		fp.Partitions = []dist.Partition{
+			{A: m.Group(1), B: m.Group(2), From: 50, Until: 400},
+		}
+	}
+	scripts, err := register.GenerateStoreWorkload(register.StoreWorkloadConfig{
+		N: n, S: s, Keys: cfg.Keys, Shards: cfg.Shards, OpsPerClient: opsPerClient,
+		WriteRatio: -1, Skew: 1.3, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := register.TotalKeyedOps(scripts)
+	prog, err := register.StoreProgram(n, s, cfg, scripts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := newRunner(b, sim.Config{
+		Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: prog,
+		Scheduler: sim.NewRandomScheduler(0), MaxSteps: 500_000, DisableTrace: true,
+		Faults: fp,
+		StopWhen: func(sn *sim.Snapshot) bool {
+			return register.StoreClientsDone(sn, s)
+		},
+	})
+	var steps, msgs, completed, retransmits, drops, dups int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Reset(int64(i)).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := 0
+		for _, a := range res.Automata {
+			if node, ok := a.(*register.StoreNode); ok {
+				done += node.CompletedOps()
+				retransmits += node.Retransmits()
+			}
+		}
+		if done != total {
+			b.Fatalf("seed %d completed %d/%d ops under faults (%s)", i, done, total, res.Reason)
+		}
+		completed += int64(done)
+		steps += res.Steps
+		msgs += res.MessagesSent
+		drops += res.MessagesDropped
+		dups += res.MessagesDuplicated
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
+	b.ReportMetric(float64(retransmits)/float64(completed), "retransmits/op")
+	b.ReportMetric(float64(drops)/float64(completed), "drops/op")
+	b.ReportMetric(float64(dups)/float64(completed), "dups/op")
 	reportRun(b, steps, msgs)
 }
 

@@ -75,40 +75,106 @@ func parseCrash(f *dist.FailurePattern, spec string) error {
 	return nil
 }
 
-// parseShardCrash applies a -crashshard spec to the pattern: "1" crashes
-// every member of shard 1's replica group at time 0, "1@40" at time 40 —
-// the whole-group failure that makes exactly one shard unavailable. A
-// member already crashed by -crash is rejected rather than silently
-// re-timed.
+// parseShardCrash applies a -crashshard list to the pattern. Entries are
+// comma-separated like -crash, but name shards: "1" crashes every member of
+// shard 1's replica group at time 0, "1@40,2" at time 40 and shard 2's at
+// time 0 — the whole-group failures that make exactly those shards
+// unavailable. A shard listed twice is rejected with a clear error (like
+// parseCrash: a process crashes at most once), as is a member already
+// crashed by -crash.
 func parseShardCrash(f *dist.FailurePattern, m *register.ShardMap, spec string) error {
 	if spec == "" {
 		return nil
 	}
-	shardPart, timePart, timed := strings.Cut(strings.TrimSpace(spec), "@")
-	sh, err := strconv.Atoi(shardPart)
-	if err != nil {
-		return fmt.Errorf("bad -crashshard %q: shard must be a number", spec)
-	}
-	if sh < 0 || sh >= m.Shards() {
-		return fmt.Errorf("-crashshard shard %d outside 0..%d", sh, m.Shards()-1)
-	}
-	t := int64(0)
-	if timed {
-		t, err = strconv.ParseInt(timePart, 10, 64)
-		if err != nil || t < 0 {
-			return fmt.Errorf("bad -crashshard %q: time must be a non-negative number", spec)
+	seen := make([]bool, m.Shards())
+	for _, entry := range strings.Split(spec, ",") {
+		shardPart, timePart, timed := strings.Cut(strings.TrimSpace(entry), "@")
+		sh, err := strconv.Atoi(shardPart)
+		if err != nil {
+			return fmt.Errorf("bad -crashshard list %q: entry %q: shard must be a number", spec, entry)
 		}
-	}
-	for _, p := range m.Group(sh).Members() {
-		if f.CrashTime(p) != dist.NoCrash {
-			return fmt.Errorf("-crashshard %d: p%d already crashed by -crash (a process crashes at most once)", sh, int(p))
+		if sh < 0 || sh >= m.Shards() {
+			return fmt.Errorf("-crashshard shard %d outside 0..%d", sh, m.Shards()-1)
 		}
-		f.CrashAt(p, dist.Time(t))
+		if seen[sh] {
+			return fmt.Errorf("bad -crashshard list %q: shard %d appears twice (a replica group crashes at most once)", spec, sh)
+		}
+		seen[sh] = true
+		t := int64(0)
+		if timed {
+			t, err = strconv.ParseInt(timePart, 10, 64)
+			if err != nil || t < 0 {
+				return fmt.Errorf("bad -crashshard list %q: entry %q: time must be a non-negative number", spec, entry)
+			}
+		}
+		for _, p := range m.Group(sh).Members() {
+			if f.CrashTime(p) != dist.NoCrash {
+				return fmt.Errorf("-crashshard %d: p%d already crashed (a process crashes at most once)", sh, int(p))
+			}
+			f.CrashAt(p, dist.Time(t))
+		}
 	}
 	if !f.InEnvironment() {
-		return fmt.Errorf("-crashshard %d kills every process", sh)
+		return fmt.Errorf("-crashshard list %q kills every process", spec)
 	}
 	return nil
+}
+
+// parsePartition parses a -partition list into scripted partitions over the
+// shard map's replica groups. Entries are comma-separated "i:j@t1-t2": the
+// replica groups of shards i and j cannot exchange messages during [t1, t2)
+// (a client process inside either group is cut off with it; messages park
+// and deliver after the heal at t2). t2 may be "inf" for a partition that
+// never heals within the run.
+func parsePartition(m *register.ShardMap, spec string) ([]dist.Partition, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []dist.Partition
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		shardsPart, window, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -partition entry %q: want i:j@t1-t2", entry)
+		}
+		iPart, jPart, ok := strings.Cut(shardsPart, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -partition entry %q: want two shards i:j before the @", entry)
+		}
+		i, err1 := strconv.Atoi(iPart)
+		j, err2 := strconv.Atoi(jPart)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad -partition entry %q: shards must be numbers", entry)
+		}
+		for _, sh := range []int{i, j} {
+			if sh < 0 || sh >= m.Shards() {
+				return nil, fmt.Errorf("-partition shard %d outside 0..%d", sh, m.Shards()-1)
+			}
+		}
+		if i == j {
+			return nil, fmt.Errorf("bad -partition entry %q: cannot partition shard %d from itself", entry, i)
+		}
+		fromPart, untilPart, ok := strings.Cut(window, "-")
+		if !ok {
+			return nil, fmt.Errorf("bad -partition entry %q: want a window t1-t2 after the @", entry)
+		}
+		from, err := strconv.ParseInt(fromPart, 10, 64)
+		if err != nil || from < 0 {
+			return nil, fmt.Errorf("bad -partition entry %q: t1 must be a non-negative number", entry)
+		}
+		until := int64(dist.NoCrash)
+		if untilPart != "inf" {
+			until, err = strconv.ParseInt(untilPart, 10, 64)
+			if err != nil || until <= from {
+				return nil, fmt.Errorf("bad -partition entry %q: t2 must be a number beyond t1 (or \"inf\")", entry)
+			}
+		}
+		out = append(out, dist.Partition{
+			A: m.Group(i), B: m.Group(j),
+			From: dist.Time(from), Until: dist.Time(until),
+		})
+	}
+	return out, nil
 }
 
 // clientSet validates -clients and returns the store member set

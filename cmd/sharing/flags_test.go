@@ -136,6 +136,113 @@ func TestParseShardCrash(t *testing.T) {
 	}
 }
 
+func TestParseShardCrashLists(t *testing.T) {
+	m, err := register.NewShardMap(6, 6, 3) // groups {1,4} {2,5} {3,6}
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		spec string
+		want string // "" = accept
+	}{
+		{"two shards timed", "1@40,2", ""},
+		{"whitespace tolerated", " 1@40 , 2 ", ""},
+		{"duplicate shard", "1,1", "appears twice"},
+		{"duplicate shard timed", "1@40,1@90", "appears twice"},
+		{"duplicate after others", "0,2,0@10", "appears twice"},
+		{"bad entry in list", "1,x", "must be a number"},
+		{"out of range in list", "1,3", "outside 0..2"},
+		{"all shards dead", "0,1,2", "kills every process"},
+	}
+	for _, tc := range cases {
+		f := dist.NewFailurePattern(6)
+		err := parseShardCrash(f, m, tc.spec)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: %q rejected: %v", tc.name, tc.spec, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: %q: got %v, want error containing %q", tc.name, tc.spec, err, tc.want)
+		}
+	}
+
+	// The timed list must apply each entry's own time.
+	f := dist.NewFailurePattern(6)
+	if err := parseShardCrash(f, m, "1@40,2"); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		p    dist.ProcID
+		want int64
+	}{{2, 40}, {5, 40}, {3, 0}, {6, 0}} {
+		if got := int64(f.CrashTime(tc.p)); got != tc.want {
+			t.Errorf("p%d crash time %d, want %d", int(tc.p), got, tc.want)
+		}
+	}
+	if f.CrashTime(1) != dist.NoCrash || f.CrashTime(4) != dist.NoCrash {
+		t.Error("shard 0's group must survive")
+	}
+}
+
+func TestParsePartition(t *testing.T) {
+	m, err := register.NewShardMap(6, 6, 3) // groups {1,4} {2,5} {3,6}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pts, err := parsePartition(m, "")
+	if err != nil || pts != nil {
+		t.Fatalf("empty spec must be a no-op: %v %v", pts, err)
+	}
+
+	pts, err = parsePartition(m, "1:2@20-60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d partitions, want 1", len(pts))
+	}
+	pt := pts[0]
+	if pt.A != m.Group(1) || pt.B != m.Group(2) || pt.From != 20 || pt.Until != 60 {
+		t.Fatalf("partition %+v does not match spec", pt)
+	}
+	if err := pt.Validate(6); err != nil {
+		t.Fatalf("parsed partition invalid: %v", err)
+	}
+
+	pts, err = parsePartition(m, "0:1@5-inf, 1:2@20-60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Until != dist.NoCrash || pts[1].Until != 60 {
+		t.Fatalf("comma list mis-parsed: %+v", pts)
+	}
+
+	for _, tc := range []struct {
+		spec string
+		want string
+	}{
+		{"1:2", "want i:j@t1-t2"},
+		{"12@0-5", "two shards"},
+		{"a:b@0-5", "must be numbers"},
+		{"1:3@0-5", "outside 0..2"},
+		{"-1:2@0-5", "outside 0..2"},
+		{"1:1@0-5", "from itself"},
+		{"1:2@0", "window t1-t2"},
+		{"1:2@-1-5", "non-negative"},
+		{"1:2@9-9", "beyond t1"},
+		{"1:2@9-3", "beyond t1"},
+		{"1:2@9-x", "beyond t1"},
+	} {
+		if _, err := parsePartition(m, tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %q: got %v, want error containing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
 func TestClientSet(t *testing.T) {
 	s, err := clientSet(5, 3)
 	if err != nil || s != dist.RangeSet(1, 3) {

@@ -92,6 +92,8 @@ subcommands:
                   -seeds 20 -workers 0 -skew 1.2 -write 0.5 -crash "5@40"
                   -crashshard "1@40" -nobatch -piggyback
                   -adaptive -maxwindow 16 -stall 16
+                  -loss 0.05 -dup 0.05 -delay 3 -faultseed 7 -partition "1:2@20-60"
+                  -retransmit -rto 32 -maxrto 256 -stalllimit 20000
   consensus       -n 5 -seed 1 -crash "5"
   counterexample  lemma7|lemma11|lemma15|tightness  [-n 5 -k 2 -seed 1]
   emulate         fig3|fig5|fig6  [-n 5 -seed 1]
@@ -443,6 +445,15 @@ func cmdStore(args []string) error {
 	adaptive := fs.Bool("adaptive", false, "replace the fixed per-shard window with the AIMD controller (grows while ops complete, halves on shard stall)")
 	maxWindow := fs.Int("maxwindow", 0, "adaptive growth cap (0 = 4×window; requires -adaptive)")
 	stall := fs.Int("stall", 0, "client steps a shard may stall before its window halves (0 = default; requires -adaptive)")
+	loss := fs.Float64("loss", 0, "per-message loss probability in [0,1) (requires -retransmit)")
+	dup := fs.Float64("dup", 0, "per-message duplication probability in [0,1)")
+	delay := fs.Int64("delay", 0, "maximum extra per-message delivery delay in ticks")
+	faultSeed := fs.Int64("faultseed", 0, "fault-plan seed, mixed with each run's scheduler seed")
+	partition := fs.String("partition", "", "scripted shard partitions, e.g. \"1:2@20-60\" (t2 may be \"inf\"; requires -retransmit)")
+	retransmit := fs.Bool("retransmit", false, "arm per-op retransmission with exponential backoff (required under -loss / -partition)")
+	rto := fs.Int("rto", 0, "initial retransmission timeout in client steps (0 = default; requires -retransmit)")
+	maxRTO := fs.Int("maxrto", 0, "retransmission backoff cap in client steps (0 = 8×rto; requires -retransmit)")
+	stallLimit := fs.Int64("stalllimit", 0, "end a run that makes no progress for this many ticks with reason \"stalled\" (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -458,6 +469,7 @@ func cmdStore(args []string) error {
 		Keys: *keys, Shards: *shards, Window: *window,
 		DisableBatching: *nobatch, Piggyback: *piggyback,
 		AdaptiveWindow: *adaptive, MaxWindow: *maxWindow, StallSteps: *stall,
+		Retransmit: *retransmit, RTO: *rto, MaxRTO: *maxRTO,
 	}
 	shardMap, err := storeCfg.ShardMap(*n) // validates the whole store config
 	if err != nil {
@@ -465,6 +477,20 @@ func cmdStore(args []string) error {
 	}
 	if err := parseShardCrash(f, shardMap, *crashShard); err != nil {
 		return err
+	}
+	partitions, err := parsePartition(shardMap, *partition)
+	if err != nil {
+		return err
+	}
+	var faults *sim.FaultPlan
+	if *loss > 0 || *dup > 0 || *delay > 0 || len(partitions) > 0 {
+		faults = &sim.FaultPlan{
+			Seed: *faultSeed, Loss: *loss, Dup: *dup,
+			MaxDelay: dist.Time(*delay), Partitions: partitions,
+		}
+		if (*loss > 0 || len(partitions) > 0) && !*retransmit {
+			return fmt.Errorf("-loss/-partition can park operations forever without -retransmit")
+		}
 	}
 	scripts, err := register.GenerateStoreWorkload(register.StoreWorkloadConfig{
 		N: *n, S: s, Keys: *keys, Shards: *shards, OpsPerClient: *ops,
@@ -474,28 +500,38 @@ func cmdStore(args []string) error {
 		return err
 	}
 	start := time.Now()
-	res, err := register.StoreSweep(register.StoreSweepConfig{
-		Pattern:   f,
-		S:         s,
-		Store:     storeCfg,
-		Scripts:   scripts,
-		SeedStart: *seedStart,
-		Seeds:     *seeds,
-		Workers:   *workers,
-	})
+	sweepCfg := register.StoreSweepConfig{
+		Pattern:    f,
+		S:          s,
+		Store:      storeCfg,
+		Scripts:    scripts,
+		SeedStart:  *seedStart,
+		Seeds:      *seeds,
+		Workers:    *workers,
+		Faults:     faults,
+		StallLimit: *stallLimit,
+	}
+	res, err := register.StoreSweep(sweepCfg)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-	// Throughput counts only correct clients' ops on available shards —
-	// those are guaranteed complete by the per-run verification; a crashed
-	// client finishes an unknown prefix, and an op routed to a dead shard
-	// never completes, either of which would inflate the headline number.
+	// Throughput counts only correct clients' ops on reachable available
+	// shards — those are guaranteed complete by the per-run verification; a
+	// crashed client finishes an unknown prefix, and an op routed to a dead
+	// or partitioned-away shard may never complete, either of which would
+	// inflate the headline number.
 	avail := shardMap.Available(f.Correct())
+	masks := register.StoreReach(shardMap, faults, f.Correct(), s,
+		dist.Time(sweepCfg.EffectiveMaxSteps()))
 	opsPerRun := int64(0)
 	for _, p := range s.Intersect(f.Correct()).Members() {
+		reach := avail
+		if masks != nil {
+			reach &= masks[p]
+		}
 		for _, op := range scripts[p-1] {
-			if avail&(1<<uint(shardMap.Shard(op.Key))) != 0 {
+			if reach&(1<<uint(shardMap.Shard(op.Key))) != 0 {
 				opsPerRun++
 			}
 		}
@@ -506,6 +542,14 @@ func cmdStore(args []string) error {
 	}
 	fmt.Printf("store on %v, S=%v, keys=%d shards=%d %s batching=%v piggyback=%v: %d runs × %d scripted ops (%d guaranteed at correct clients)\n",
 		f, s, *keys, shardMap.Shards(), windowDesc, !*nobatch, *piggyback, res.Runs, register.TotalKeyedOps(scripts), opsPerRun)
+	if faults != nil {
+		fmt.Printf("  faults: loss=%.3g dup=%.3g maxdelay=%d seed=%d retransmit=%v",
+			faults.Loss, faults.Dup, int64(faults.MaxDelay), faults.Seed, *retransmit)
+		for _, pt := range faults.Partitions {
+			fmt.Printf(" partition=%v", pt)
+		}
+		fmt.Println()
+	}
 	if shardMap.Shards() > 1 || *crashShard != "" {
 		fmt.Printf("  layout: %s\n", shardMap)
 		for sh := 0; sh < shardMap.Shards(); sh++ {
@@ -515,7 +559,18 @@ func cmdStore(args []string) error {
 			}
 		}
 	}
+	if masks != nil {
+		for _, p := range s.Intersect(f.Correct()).Members() {
+			if cut := avail &^ masks[p]; cut != 0 {
+				fmt.Printf("  client p%d partitioned from shard(s) %s past the horizon: those ops park, the rest must complete\n",
+					int(p), shardBits(cut, shardMap.Shards()))
+			}
+		}
+	}
 	fmt.Printf("  steps: %s\n  msgs:  %s\n", res.Steps.String(), res.Msgs.String())
+	if res.Dropped.Sum > 0 || res.Duplicated.Sum > 0 {
+		fmt.Printf("  drops: %s\n  dups:  %s\n", res.Dropped.String(), res.Duplicated.String())
+	}
 	passed := res.Runs - res.Failures // completion is only guaranteed for runs that passed verification
 	fmt.Printf("  %d completed ops in %v (%.0f ops/sec, %.0f runs/sec)\n",
 		opsPerRun*passed, elapsed.Round(time.Millisecond),
@@ -526,6 +581,21 @@ func cmdStore(args []string) error {
 	}
 	fmt.Println("  every per-key history linearizable")
 	return nil
+}
+
+// shardBits renders an availability bitmask as a shard-index list for
+// human-facing degradation messages.
+func shardBits(mask uint64, shards int) string {
+	var b strings.Builder
+	for sh := 0; sh < shards; sh++ {
+		if mask&(1<<uint(sh)) != 0 {
+			if b.Len() > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", sh)
+		}
+	}
+	return b.String()
 }
 
 func cmdConsensus(args []string) error {

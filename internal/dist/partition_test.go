@@ -1,0 +1,53 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPartitionValidate(t *testing.T) {
+	good := Partition{A: NewProcSet(1, 2), B: NewProcSet(3), From: 10, Until: 20}
+	if err := good.Validate(3); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		pt   Partition
+		n    int
+		want string
+	}{
+		{"empty side", Partition{A: NewProcSet(1), From: 0, Until: 5}, 3, "non-empty"},
+		{"overlap", Partition{A: NewProcSet(1, 2), B: NewProcSet(2, 3), From: 0, Until: 5}, 3, "overlap"},
+		{"outside system", Partition{A: NewProcSet(1), B: NewProcSet(4), From: 0, Until: 5}, 3, "exceed"},
+		{"negative from", Partition{A: NewProcSet(1), B: NewProcSet(2), From: -1, Until: 5}, 2, "negative"},
+		{"empty window", Partition{A: NewProcSet(1), B: NewProcSet(2), From: 5, Until: 5}, 2, "empty"},
+	}
+	for _, tc := range cases {
+		err := tc.pt.Validate(tc.n)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPartitionBlocks(t *testing.T) {
+	pt := Partition{A: NewProcSet(1, 2), B: NewProcSet(3), From: 10, Until: 20}
+	if !pt.Separates(1, 3) || !pt.Separates(3, 2) {
+		t.Fatal("cross-side pairs must be separated")
+	}
+	if pt.Separates(1, 2) || pt.Separates(3, 3) || pt.Separates(1, 4) {
+		t.Fatal("same-side, self and outside pairs must not be separated")
+	}
+	for _, tc := range []struct {
+		t    Time
+		want bool
+	}{{9, false}, {10, true}, {19, true}, {20, false}} {
+		if got := pt.Blocks(1, 3, tc.t); got != tc.want {
+			t.Errorf("Blocks(1,3,%d) = %v, want %v", int64(tc.t), got, tc.want)
+		}
+	}
+	// Symmetric and inert for unseparated pairs even while active.
+	if pt.Blocks(1, 2, 15) || !pt.Blocks(3, 1, 15) {
+		t.Fatal("Blocks must be symmetric and side-local")
+	}
+}

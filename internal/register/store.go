@@ -74,18 +74,22 @@ type (
 	queryReqBatch struct {
 		E    []queryEntry
 		refs int32
+		pool *batchPool
 	}
 	queryRepBatch struct {
 		E    []queryRepEntry
 		refs int32
+		pool *batchPool
 	}
 	storeReqBatch struct {
 		E    []storeEntry
 		refs int32
+		pool *batchPool
 	}
 	storeRepBatch struct {
 		E    []storeRepEntry
 		refs int32
+		pool *batchPool
 	}
 	// storeFrame is the piggybacked combined payload: one frame carries
 	// everything a node has for one destination in one step.
@@ -95,8 +99,51 @@ type (
 		QR   []queryRepEntry
 		SR   []storeRepEntry
 		refs int32
+		pool *batchPool
 	}
 )
+
+// The batch types implement sim.RefCounted so fault injection composes with
+// the lease contract: when the runner drops a copy by loss it returns the
+// lost delivery's reference (recycling the batch if it was the last), and
+// when it duplicates a copy it adds one before enqueueing. The pool backref
+// is set at lease time, so a dropped batch recycles into the pool of the
+// program that leased it.
+
+func (b *queryReqBatch) AddRef() { b.refs++ }
+func (b *queryReqBatch) DropRef() {
+	if release(&b.refs) {
+		b.pool.qReq.put(b)
+	}
+}
+
+func (b *queryRepBatch) AddRef() { b.refs++ }
+func (b *queryRepBatch) DropRef() {
+	if release(&b.refs) {
+		b.pool.qRep.put(b)
+	}
+}
+
+func (b *storeReqBatch) AddRef() { b.refs++ }
+func (b *storeReqBatch) DropRef() {
+	if release(&b.refs) {
+		b.pool.sReq.put(b)
+	}
+}
+
+func (b *storeRepBatch) AddRef() { b.refs++ }
+func (b *storeRepBatch) DropRef() {
+	if release(&b.refs) {
+		b.pool.sRep.put(b)
+	}
+}
+
+func (f *storeFrame) AddRef() { f.refs++ }
+func (f *storeFrame) DropRef() {
+	if release(&f.refs) {
+		f.pool.frames.put(f)
+	}
+}
 
 // release drops one reference and reports whether the caller held the last
 // one (the runner is single-threaded, so no atomics are needed).
@@ -149,7 +196,7 @@ func (p *batchPool) getQReq() *queryReqBatch {
 		b.E = b.E[:0]
 		return b
 	}
-	return &queryReqBatch{}
+	return &queryReqBatch{pool: p}
 }
 
 func (p *batchPool) getQRep() *queryRepBatch {
@@ -157,7 +204,7 @@ func (p *batchPool) getQRep() *queryRepBatch {
 		b.E = b.E[:0]
 		return b
 	}
-	return &queryRepBatch{}
+	return &queryRepBatch{pool: p}
 }
 
 func (p *batchPool) getSReq() *storeReqBatch {
@@ -165,7 +212,7 @@ func (p *batchPool) getSReq() *storeReqBatch {
 		b.E = b.E[:0]
 		return b
 	}
-	return &storeReqBatch{}
+	return &storeReqBatch{pool: p}
 }
 
 func (p *batchPool) getSRep() *storeRepBatch {
@@ -173,7 +220,7 @@ func (p *batchPool) getSRep() *storeRepBatch {
 		b.E = b.E[:0]
 		return b
 	}
-	return &storeRepBatch{}
+	return &storeRepBatch{pool: p}
 }
 
 func (p *batchPool) getFrame() *storeFrame {
@@ -181,13 +228,19 @@ func (p *batchPool) getFrame() *storeFrame {
 		f.Q, f.S, f.QR, f.SR = f.Q[:0], f.S[:0], f.QR[:0], f.SR[:0]
 		return f
 	}
-	return &storeFrame{}
+	return &storeFrame{pool: p}
 }
 
 // DefaultStallSteps is the adaptive controller's default backpressure
 // threshold: consecutive client steps a shard may hold outstanding
 // operations without completing any before its window is halved.
 const DefaultStallSteps = 16
+
+// DefaultRTO is the default initial retransmission timeout, in the client's
+// own steps. It sits well above a healthy request/reply round trip (a few
+// client steps under the random scheduler), so failure-free runs never
+// retransmit — retransmission is pay-only-on-fault.
+const DefaultRTO = 32
 
 // StoreConfig parameterizes the keyed register store.
 type StoreConfig struct {
@@ -229,6 +282,22 @@ type StoreConfig struct {
 	// StallSteps is the controller's backpressure threshold. 0 defaults to
 	// DefaultStallSteps; a non-zero value requires AdaptiveWindow.
 	StallSteps int
+	// Retransmit enables per-operation retransmission: an outstanding
+	// operation whose current phase has waited RTO client steps without
+	// completing re-sends its phase request to the shard group, doubling its
+	// timeout up to MaxRTO (capped exponential backoff — an op against a
+	// partitioned shard parks at the probe rate and resumes after heal).
+	// Replies are deduplicated by (key, rid, phase) and replicas re-answer
+	// idempotently, so retransmission and fault-injected duplication are
+	// safe under the ABD protocol. Off, a lost message stalls its op forever
+	// (the paper's reliable-channel assumption).
+	Retransmit bool
+	// RTO is the initial retransmission timeout in client steps. 0 defaults
+	// to DefaultRTO; a non-zero value must be ≥ 1 and requires Retransmit.
+	RTO int
+	// MaxRTO caps the exponential backoff. 0 defaults to 8×RTO; a non-zero
+	// value must be ≥ RTO and requires Retransmit.
+	MaxRTO int
 }
 
 func (c StoreConfig) window() int {
@@ -257,6 +326,20 @@ func (c StoreConfig) stallSteps() int {
 		return c.StallSteps
 	}
 	return DefaultStallSteps
+}
+
+func (c StoreConfig) rto() int {
+	if c.RTO > 0 {
+		return c.RTO
+	}
+	return DefaultRTO
+}
+
+func (c StoreConfig) maxRTO() int {
+	if c.MaxRTO > 0 {
+		return c.MaxRTO
+	}
+	return 8 * c.rto()
 }
 
 // EffectiveMaxWindow returns the adaptive controller's growth cap after
@@ -301,6 +384,18 @@ func (c StoreConfig) ShardMap(n int) (*ShardMap, error) {
 	if c.AdaptiveWindow && c.MaxWindow != 0 && c.MaxWindow < c.Window {
 		return nil, fmt.Errorf("register: MaxWindow %d below the start Window %d", c.MaxWindow, c.Window)
 	}
+	if c.RTO < 0 {
+		return nil, fmt.Errorf("register: store RTO %d is negative", c.RTO)
+	}
+	if c.MaxRTO < 0 {
+		return nil, fmt.Errorf("register: store MaxRTO %d is negative", c.MaxRTO)
+	}
+	if !c.Retransmit && (c.RTO != 0 || c.MaxRTO != 0) {
+		return nil, fmt.Errorf("register: RTO/MaxRTO require Retransmit")
+	}
+	if c.Retransmit && c.MaxRTO != 0 && c.MaxRTO < c.rto() {
+		return nil, fmt.Errorf("register: MaxRTO %d below the initial RTO %d", c.MaxRTO, c.rto())
+	}
 	return NewShardMap(n, c.Keys, c.shards())
 }
 
@@ -318,6 +413,12 @@ type storeOp struct {
 	acks    dist.ProcSet
 	best    Timestamp
 	bestVal Value
+
+	// Retransmission timer (Retransmit only): the client step the current
+	// phase's request was last sent at, and the current timeout, doubling up
+	// to MaxRTO. Both reset on phase transition.
+	lastSend int64
+	rto      int
 }
 
 // shardWin is the AIMD controller state of one (client, shard) pair.
@@ -365,6 +466,14 @@ type StoreNode struct {
 	doneMask uint64 // shards that completed an op this client step
 	load     []int  // outstanding ops per shard, maintained on start/complete
 
+	// Retransmission state (Retransmit only): the client's own step clock
+	// (ticks once per Step of this node), the cached initial/cap timeouts,
+	// and the count of phase re-sends performed.
+	steps       int64
+	rto0        int
+	maxRTO      int
+	retransmits int64
+
 	// Per-step per-shard request accumulators, consumed and cleared by
 	// flush: one pooled batch per (shard, step) shared across the group
 	// (refs counts recipients), or one frame per destination with
@@ -391,6 +500,14 @@ type StoreNode struct {
 
 var _ sim.Automaton = (*StoreNode)(nil)
 
+var (
+	_ sim.RefCounted = (*queryReqBatch)(nil)
+	_ sim.RefCounted = (*queryRepBatch)(nil)
+	_ sim.RefCounted = (*storeReqBatch)(nil)
+	_ sim.RefCounted = (*storeRepBatch)(nil)
+	_ sim.RefCounted = (*storeFrame)(nil)
+)
+
 // NewStoreNode builds the store automaton for process self over the given
 // shard map, with a pool of its own. Prefer StoreProgram, which validates
 // the configuration at construction time and shares one pool across the
@@ -410,6 +527,8 @@ func newStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, m *S
 		shards: m,
 		maxWin: cfg.maxWindow(),
 		stall:  cfg.stallSteps(),
+		rto0:   cfg.rto(),
+		maxRTO: cfg.maxRTO(),
 		pool:   pool,
 		ts:     make([][]Timestamp, m.Shards()),
 		val:    make([][]Value, m.Shards()),
@@ -447,9 +566,16 @@ func newStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, m *S
 			winCap = a.maxWin
 		}
 		a.pend = make([]storeOp, 0, winCap*m.Shards())
+		// With retransmission a step may re-send a full window on top of the
+		// window it starts, so the accumulators get double headroom to keep
+		// retransmit bursts off the allocator.
+		outCap := winCap
+		if cfg.Retransmit {
+			outCap *= 2
+		}
 		for sh := 0; sh < m.Shards(); sh++ {
-			a.qOut[sh] = make([]queryEntry, 0, winCap)
-			a.sOut[sh] = make([]storeEntry, 0, winCap)
+			a.qOut[sh] = make([]queryEntry, 0, outCap)
+			a.sOut[sh] = make([]storeEntry, 0, outCap)
 		}
 		a.scriptLen = len(script)
 		a.queued = len(script)
@@ -542,6 +668,11 @@ func (a *StoreNode) DoneOn(avail uint64) bool {
 // CompletedOps returns the number of client operations this node completed.
 func (a *StoreNode) CompletedOps() int { return a.completed }
 
+// Retransmits returns the number of phase re-sends this client performed
+// (zero without StoreConfig.Retransmit, and zero on failure-free runs —
+// retransmission is pay-only-on-fault).
+func (a *StoreNode) Retransmits() int64 { return a.retransmits }
+
 // ScriptedOps returns the length of the node's client script.
 func (a *StoreNode) ScriptedOps() int { return a.scriptLen }
 
@@ -583,9 +714,11 @@ func (a *StoreNode) Step(e *sim.Env) {
 		a.onMessage(e, payload, from)
 	}
 	if a.s.Contains(a.self) && !a.Done() {
+		a.steps++
 		a.doneMask = 0
 		a.advance(e)
 		a.adaptWindows()
+		a.retransmit()
 		a.start(e)
 	}
 	// Always flush: replicas that are not (active) clients still owe the
@@ -815,6 +948,39 @@ func (a *StoreNode) adaptWindows() {
 	}
 }
 
+// retransmit re-sends the current-phase request of every outstanding op
+// whose timer expired, through the same per-shard accumulators (and thus the
+// same batching/piggybacking and pooled-payload paths) as first sends.
+// Replica re-answers are idempotent and client reply-crediting dedups by
+// (key, rid, phase) set membership, so a late original plus a retransmit
+// can never double-count a quorum. Each expiry doubles the op's timeout up
+// to MaxRTO: an op against an unreachable shard decays to a periodic probe
+// that resurrects it the moment the partition heals.
+func (a *StoreNode) retransmit() {
+	if !a.cfg.Retransmit || len(a.pend) == 0 {
+		return
+	}
+	for i := range a.pend {
+		op := &a.pend[i]
+		if a.steps-op.lastSend < int64(op.rto) {
+			continue
+		}
+		op.lastSend = a.steps
+		if r2 := op.rto * 2; r2 <= a.maxRTO {
+			op.rto = r2
+		} else {
+			op.rto = a.maxRTO
+		}
+		a.retransmits++
+		switch op.phase {
+		case 1:
+			a.qOut[op.shard] = append(a.qOut[op.shard], queryEntry{Key: op.key, RID: op.rid})
+		case 2:
+			a.sOut[op.shard] = append(a.sOut[op.shard], storeEntry{Key: op.key, RID: op.rid, TS: op.best, V: op.bestVal})
+		}
+	}
+}
+
 // quorum returns the responder set an op must cover: the Σ_S trust list
 // projected onto the op's shard group — the Σ_{S_i} instance of that shard.
 // An empty projection (the whole group crashed) means the shard has no live
@@ -860,6 +1026,8 @@ func (a *StoreNode) advance(e *sim.Env) {
 			op.phase = 2
 			op.acks = 0
 			op.best, op.bestVal = st, v
+			op.lastSend = a.steps
+			op.rto = a.rto0
 			if sh, loc, owned := a.locate(op.key); owned {
 				// The local replica stores and answers immediately.
 				op.acks = dist.NewProcSet(a.self)
@@ -907,13 +1075,15 @@ func (a *StoreNode) start(e *sim.Env) {
 				e.Invoke(a.opSeq, KeyedOpDesc{Key: op.Key, Kind: op.Kind, Arg: op.Arg})
 			}
 			pend := storeOp{
-				key:   op.Key,
-				shard: sh,
-				rid:   a.rid,
-				kind:  op.Kind,
-				arg:   op.Arg,
-				seq:   a.opSeq,
-				phase: 1,
+				key:      op.Key,
+				shard:    sh,
+				rid:      a.rid,
+				kind:     op.Kind,
+				arg:      op.Arg,
+				seq:      a.opSeq,
+				phase:    1,
+				lastSend: a.steps,
+				rto:      a.rto0,
 			}
 			if s, loc, owned := a.locate(op.Key); owned {
 				pend.acks = dist.NewProcSet(a.self)

@@ -10,7 +10,7 @@ import (
 
 // storeAllocRunner builds a reusable untraced store runner over a generated
 // workload, for the allocation tripwire.
-func storeAllocRunner(t *testing.T, cfg StoreConfig, opsPerClient int) *sim.Runner {
+func storeAllocRunner(t *testing.T, cfg StoreConfig, opsPerClient int, fp *sim.FaultPlan) *sim.Runner {
 	t.Helper()
 	const n = 5
 	f := dist.NewFailurePattern(n)
@@ -29,6 +29,7 @@ func storeAllocRunner(t *testing.T, cfg StoreConfig, opsPerClient int) *sim.Runn
 	r, err := sim.NewRunner(sim.Config{
 		Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: prog,
 		Scheduler: sim.NewRandomScheduler(0), MaxSteps: 500_000, DisableTrace: true,
+		Faults: fp,
 		StopWhen: func(sn *sim.Snapshot) bool {
 			return StoreClientsDone(sn, s)
 		},
@@ -82,17 +83,25 @@ func measureStoreAllocs(t *testing.T, r *sim.Runner, runs int) (allocs, steps fl
 // identical setup, so the allocation difference divided by the step
 // difference is the pure steady-state cost per step — and must be ≈ 0.
 func TestStoreAllocsPerStep(t *testing.T) {
+	// The faulted case pins the retransmit path and the runner's
+	// drop/duplicate refcount adjustments: lost pooled batches recycle
+	// through DropRef instead of leaking (a leak re-allocates on the next
+	// lease and shows up as a per-step cost), and retransmit re-sends flow
+	// through the same pooled accumulators as first sends.
+	faults := &sim.FaultPlan{Seed: 33, Loss: 0.05, Dup: 0.05, MaxDelay: 2}
 	for _, tc := range []struct {
 		name string
 		cfg  StoreConfig
+		fp   *sim.FaultPlan
 	}{
-		{"batched", StoreConfig{Keys: 12, Window: 8}},
-		{"piggyback+adaptive", StoreConfig{Keys: 12, Window: 8, Piggyback: true, AdaptiveWindow: true}},
-		{"sharded", StoreConfig{Keys: 12, Shards: 4, Window: 8}},
+		{"batched", StoreConfig{Keys: 12, Window: 8}, nil},
+		{"piggyback+adaptive", StoreConfig{Keys: 12, Window: 8, Piggyback: true, AdaptiveWindow: true}, nil},
+		{"sharded", StoreConfig{Keys: 12, Shards: 4, Window: 8}, nil},
+		{"retransmit+faults", StoreConfig{Keys: 12, Shards: 4, Window: 8, Retransmit: true, RTO: 16}, faults},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			short := storeAllocRunner(t, tc.cfg, 6)
-			long := storeAllocRunner(t, tc.cfg, 48)
+			short := storeAllocRunner(t, tc.cfg, 6, tc.fp)
+			long := storeAllocRunner(t, tc.cfg, 48, tc.fp)
 			aShort, sShort := measureStoreAllocs(t, short, 10)
 			aLong, sLong := measureStoreAllocs(t, long, 10)
 			if sLong-sShort < 500 {

@@ -22,8 +22,20 @@ type StoreSweepConfig struct {
 	// Stab is the Σ_S stabilization time (default 20).
 	Stab dist.Time
 	// MaxSteps bounds each run; 0 derives a generous budget from the
-	// script volume.
+	// script volume (and, with Faults, from the last finite partition heal).
 	MaxSteps int64
+	// Faults, when non-nil, is the adversarial network applied to every run
+	// (sim.Config.Faults). Loss and partitions require Store.Retransmit —
+	// without retransmission a single lost request strands its op forever.
+	// Completion verdicts become reachability-aware: a client is only
+	// required to finish operations on shards it can reach through the run
+	// horizon (partitions that heal before the horizon block nothing), and
+	// minority-side operations must park without violating linearizability.
+	Faults *sim.FaultPlan
+	// StallLimit forwards sim.Config.StallLimit: end runs that make no
+	// progress for that many ticks with a diagnostic stop reason instead of
+	// burning the whole step budget (0 = off).
+	StallLimit int64
 	// SeedStart, Seeds and Workers configure the sweep (see sweep.Config).
 	SeedStart int64
 	Seeds     int64
@@ -58,10 +70,15 @@ func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
 	if stab <= 0 {
 		stab = 20
 	}
-	maxSteps := cfg.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = 20_000 + 2_000*int64(TotalKeyedOps(cfg.Scripts))
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(n); err != nil {
+			return nil, err
+		}
+		if (cfg.Faults.Loss > 0 || len(cfg.Faults.Partitions) > 0) && !cfg.Store.Retransmit {
+			return nil, fmt.Errorf("register: faults with loss or partitions need Store.Retransmit — a lost request would strand its operation forever")
+		}
 	}
+	maxSteps := cfg.EffectiveMaxSteps()
 	correct := cfg.Pattern.Correct()
 	clients := cfg.S.Intersect(correct)
 	if clients.IsEmpty() {
@@ -77,10 +94,26 @@ func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
 		// an empty history.
 		return nil, fmt.Errorf("register: no available shard — every replica group of [%s] is crashed by %v", shardMap, cfg.Pattern)
 	}
+	// Per-client completion masks: available shards the client can reach
+	// through the run horizon (nil without faults — everything reachable).
+	masks := StoreReach(shardMap, cfg.Faults, correct, clients, dist.Time(maxSteps))
+	if masks != nil {
+		any := uint64(0)
+		for set := clients; !set.IsEmpty(); {
+			p := set.Min()
+			set = set.Remove(p)
+			any |= avail & masks[p]
+		}
+		if any == 0 {
+			// An unhealed partition cutting every client off every shard
+			// verifies only empty histories — a setup error, like avail == 0.
+			return nil, fmt.Errorf("register: no client can reach any available shard through the run horizon (unhealed partitions cut everything)")
+		}
+	}
 	// Shared across workers: a pure read of the snapshot, no captured
 	// mutable state.
 	stopWhen := func(sn *sim.Snapshot) bool {
-		return StoreClientsDoneOn(sn, clients, avail)
+		return storeClientsDoneMasked(sn, clients, avail, masks)
 	}
 	return sweep.Run(sweep.Config{
 		Sim: func() sim.Config {
@@ -91,20 +124,76 @@ func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
 				panic(err) // unreachable: validated above with identical inputs
 			}
 			return sim.Config{
-				Pattern:  cfg.Pattern,
-				History:  fd.NewSigmaS(cfg.Pattern, cfg.S, stab),
-				Program:  prog,
-				MaxSteps: maxSteps,
-				StopWhen: stopWhen,
+				Pattern:    cfg.Pattern,
+				History:    fd.NewSigmaS(cfg.Pattern, cfg.S, stab),
+				Program:    prog,
+				MaxSteps:   maxSteps,
+				StopWhen:   stopWhen,
+				Faults:     cfg.Faults,
+				StallLimit: cfg.StallLimit,
 			}
 		},
 		SeedStart: cfg.SeedStart,
 		Seeds:     cfg.Seeds,
 		Workers:   cfg.Workers,
 		Check: func(seed int64, res *sim.Result) error {
-			return VerifyStoreRun(res, correct)
+			return VerifyStoreRunReach(res, correct, masks)
 		},
 	})
+}
+
+// EffectiveMaxSteps returns the per-run step budget after defaulting: the
+// configured MaxSteps, else a generous budget derived from the script volume
+// and stretched past the last finite partition heal (a healed partition only
+// delays; the budget must leave room for parked operations to drain after
+// it).
+func (cfg StoreSweepConfig) EffectiveMaxSteps() int64 {
+	if cfg.MaxSteps > 0 {
+		return cfg.MaxSteps
+	}
+	ms := 20_000 + 2_000*int64(TotalKeyedOps(cfg.Scripts))
+	if cfg.Faults != nil {
+		for _, pt := range cfg.Faults.Partitions {
+			if pt.Until != dist.NoCrash && 2*int64(pt.Until) > ms {
+				ms = 2 * int64(pt.Until)
+			}
+		}
+	}
+	return ms
+}
+
+// StoreReach computes, per client, the bitmask of shards whose correct
+// replicas it can all reach at some point before the horizon — i.e. no
+// partition separating the client from a correct group member extends to the
+// horizon. Σ_S completion needs acks from every correct group member (the
+// oracle's trusted set converges to Correct(F)), so one unreachable correct
+// replica parks the whole shard for that client. Returns nil when fp is nil
+// or partition-free (everything reachable); otherwise a ProcID-indexed
+// slice, zero for non-clients.
+func StoreReach(m *ShardMap, fp *sim.FaultPlan, correct, clients dist.ProcSet, horizon dist.Time) []uint64 {
+	if fp == nil || len(fp.Partitions) == 0 {
+		return nil
+	}
+	masks := make([]uint64, int(clients.Max())+1)
+	for set := clients; !set.IsEmpty(); {
+		c := set.Min()
+		set = set.Remove(c)
+		for sh := 0; sh < m.Shards(); sh++ {
+			reachable := true
+			for g := m.Group(sh).Intersect(correct); !g.IsEmpty(); {
+				q := g.Min()
+				g = g.Remove(q)
+				if q != c && fp.CutThrough(c, q, horizon) {
+					reachable = false
+					break
+				}
+			}
+			if reachable {
+				masks[c] |= 1 << uint(sh)
+			}
+		}
+	}
+	return masks
 }
 
 // StoreClientsDone reports whether every client in clients ran its script
@@ -120,10 +209,21 @@ func StoreClientsDone(sn *sim.Snapshot, clients dist.ProcSet) bool {
 // shard whose whole replica group crashed can never complete and must not
 // keep the run alive (see ShardMap.Available).
 func StoreClientsDoneOn(sn *sim.Snapshot, clients dist.ProcSet, avail uint64) bool {
+	return storeClientsDoneMasked(sn, clients, avail, nil)
+}
+
+// storeClientsDoneMasked is StoreClientsDoneOn with an optional per-client
+// reachability mask (StoreReach): each client only needs to finish work on
+// shards that are both available and reachable to it.
+func storeClientsDoneMasked(sn *sim.Snapshot, clients dist.ProcSet, avail uint64, masks []uint64) bool {
 	for set := clients; !set.IsEmpty(); {
 		p := set.Min()
 		set = set.Remove(p)
-		if node, ok := sn.Automaton(p).(*StoreNode); !ok || !node.DoneOn(avail) {
+		eff := avail
+		if masks != nil {
+			eff &= masks[p]
+		}
+		if node, ok := sn.Automaton(p).(*StoreNode); !ok || !node.DoneOn(eff) {
 			return false
 		}
 	}
@@ -138,12 +238,25 @@ func StoreClientsDoneOn(sn *sim.Snapshot, clients dist.ProcSet, avail uint64) bo
 // dropped by the checker. The run must come from a StoreProgram with
 // tracing enabled.
 func VerifyStoreRun(res *sim.Result, correct dist.ProcSet) error {
+	return VerifyStoreRunReach(res, correct, nil)
+}
+
+// VerifyStoreRunReach is VerifyStoreRun with an optional per-client
+// reachability mask (StoreReach): under unhealed partitions a correct client
+// must still finish everything on shards it can reach, while its
+// minority-side operations may stay parked — the graceful-degradation
+// verdict. Linearizability is checked on the full recorded history either
+// way: parked operations never returned, so they cannot violate.
+func VerifyStoreRunReach(res *sim.Result, correct dist.ProcSet, masks []uint64) error {
 	for _, a := range res.Automata {
 		node, ok := a.(*StoreNode)
 		if !ok || !node.s.Contains(node.self) || !correct.Contains(node.self) {
 			continue
 		}
 		avail := node.shards.Available(correct)
+		if masks != nil {
+			avail &= masks[node.self]
+		}
 		if !node.DoneOn(avail) {
 			return fmt.Errorf("register: correct client p%d stopped at %d/%d scripted ops with work left on available shards %b (%d in flight; run ended: %s)",
 				int(node.self), node.completed, node.scriptLen, avail, len(node.pend), res.Reason)

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// FaultPlan describes an adversarial network for a run: per-message loss and
+// duplication probabilities, a bounded extra delivery delay, and scripted
+// partitions with heal events. The Runner applies the plan in the delivery
+// path.
+//
+// Every probabilistic decision is a pure function of (Seed ⊕ run seed,
+// message Seq) — independent of wall time, scheduler internals and worker
+// count — so a sweep's per-seed results and aggregates are bit-identical
+// however the seeds are distributed over workers.
+//
+// Semantics, per message:
+//
+//   - Loss drops the message at send time. It is counted, never queued.
+//   - Dup enqueues a second, independent copy (its own Seq, its own delay).
+//     The copy is never itself dropped or re-duplicated.
+//   - MaxDelay > 0 adds a per-copy uniform extra delay in [0, MaxDelay]
+//     ticks before the copy becomes deliverable.
+//   - A Partition blocks delivery between its two sides while active. The
+//     blocked message stays queued and becomes deliverable at heal time:
+//     partitions delay, they do not lose.
+type FaultPlan struct {
+	// Seed decorrelates fault decisions from the run seed (the effective
+	// stream seed is Seed ⊕ run seed). Two plans differing only in Seed make
+	// independent decisions on the same run.
+	Seed int64
+	// Loss is the per-message drop probability in [0, 1).
+	Loss float64
+	// Dup is the per-message duplication probability in [0, 1).
+	Dup float64
+	// MaxDelay bounds the extra per-copy delivery delay in ticks (0 = none).
+	MaxDelay dist.Time
+	// Partitions are the scripted partition windows.
+	Partitions []dist.Partition
+}
+
+// Validate checks the plan against an n-process system.
+func (fp *FaultPlan) Validate(n int) error {
+	if fp.Loss < 0 || fp.Loss >= 1 {
+		return fmt.Errorf("sim: FaultPlan.Loss = %v out of [0, 1)", fp.Loss)
+	}
+	if fp.Dup < 0 || fp.Dup >= 1 {
+		return fmt.Errorf("sim: FaultPlan.Dup = %v out of [0, 1)", fp.Dup)
+	}
+	if fp.MaxDelay < 0 {
+		return fmt.Errorf("sim: FaultPlan.MaxDelay = %d is negative", int64(fp.MaxDelay))
+	}
+	for i, pt := range fp.Partitions {
+		if err := pt.Validate(n); err != nil {
+			return fmt.Errorf("sim: FaultPlan.Partitions[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Blocked reports whether a message from `from` to `to` is undeliverable at
+// time t because an active partition separates them.
+func (fp *FaultPlan) Blocked(from, to dist.ProcID, t dist.Time) bool {
+	for _, pt := range fp.Partitions {
+		if pt.Blocks(from, to, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// CutThrough reports whether some partition separating p and q is still
+// active at horizon-1, i.e. the pair never regains connectivity within a run
+// of `horizon` ticks. Completion guarantees only cover pairs that are not
+// cut through the horizon (and healed partitions should leave generous slack
+// before the horizon for parked operations to drain).
+func (fp *FaultPlan) CutThrough(p, q dist.ProcID, horizon dist.Time) bool {
+	for _, pt := range fp.Partitions {
+		if pt.Separates(p, q) && pt.From < horizon && pt.Until >= horizon {
+			return true
+		}
+	}
+	return false
+}
+
+// decide returns the fate of the message with sequence number seq under the
+// given run seed: whether it is dropped, whether an extra copy is enqueued,
+// and the extra delivery delay of the original and of the copy. Pure in
+// (fp.Seed, runSeed, seq).
+func (fp *FaultPlan) decide(runSeed, seq int64) (drop, dup bool, delay, dupDelay dist.Time) {
+	h := faultMix(uint64(fp.Seed)^uint64(runSeed)*0x9E3779B97F4A7C15, uint64(seq))
+	if fp.Loss > 0 && unitFloat(faultMix(h, 1)) < fp.Loss {
+		return true, false, 0, 0
+	}
+	if fp.Dup > 0 && unitFloat(faultMix(h, 2)) < fp.Dup {
+		dup = true
+	}
+	if fp.MaxDelay > 0 {
+		span := uint64(fp.MaxDelay) + 1
+		delay = dist.Time(faultMix(h, 3) % span)
+		dupDelay = dist.Time(faultMix(h, 4) % span)
+	}
+	return
+}
+
+// faultMix combines two words into a well-mixed 64-bit value (splitmix64's
+// finalizer over their sum). Used instead of a stateful PRNG so fault
+// decisions depend only on the message identity, not on how many random
+// numbers were drawn before — a requirement for worker-count-independent
+// sweeps.
+func faultMix(a, b uint64) uint64 {
+	z := a + b*0x9E3779B97F4A7C15
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// unitFloat maps a 64-bit value to [0, 1) with 53-bit resolution.
+func unitFloat(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// RefCounted is implemented by pooled message payloads whose sender pre-set
+// a recipient reference count before sending (the send-buffer lease
+// contract; see Env.DeliveredOwned). Fault injection changes how many
+// deliveries a payload will actually see, and on untraced runs the Runner
+// keeps the count honest: DropRef for a copy dropped by loss (the
+// implementation recycles the payload when its last expected delivery is
+// gone) and AddRef before enqueueing a duplicated copy. Neither is called on
+// traced runs, where ownership is never granted and the trace retains every
+// payload.
+type RefCounted interface {
+	AddRef()
+	DropRef()
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/dist"
+
 // inbox is a process's queue of in-transit messages, laid out for the
 // runner's hot path: messages are stored by value in one growable buffer, so
 // sending never allocates once the buffer has reached the backlog high-water
@@ -18,13 +20,14 @@ type inbox struct {
 }
 
 type inboxEntry struct {
-	msg  Message
-	gone bool // delivered out of order; slot awaits the head cursor
+	msg       Message
+	notBefore dist.Time // earliest delivery time (fault-injected extra delay)
+	gone      bool      // delivered out of order; slot awaits the head cursor
 }
 
-// push appends a message to the queue.
-func (q *inbox) push(m Message) {
-	q.buf = append(q.buf, inboxEntry{msg: m})
+// push appends a message to the queue, deliverable no earlier than notBefore.
+func (q *inbox) push(m Message, notBefore dist.Time) {
+	q.buf = append(q.buf, inboxEntry{msg: m, notBefore: notBefore})
 	q.live++
 }
 

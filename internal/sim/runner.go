@@ -25,6 +25,10 @@ const (
 	ReasonStopCond
 	// ReasonAllCrashed: no process is alive anymore.
 	ReasonAllCrashed
+	// ReasonStalled: Config.StallLimit ticks elapsed with no progress (no
+	// delivery, no send, no decision, no recorded operation event) — the
+	// livelock guard for lossy runs without retransmission.
+	ReasonStalled
 )
 
 // String names the stop reason.
@@ -40,6 +44,8 @@ func (r StopReason) String() string {
 		return "stop-condition"
 	case ReasonAllCrashed:
 		return "all-crashed"
+	case ReasonStalled:
+		return "stalled"
 	default:
 		return fmt.Sprintf("reason(%d)", uint8(r))
 	}
@@ -63,6 +69,19 @@ type Config struct {
 	// undeliverable (the proofs' "messages are delayed until ..."). A
 	// message is deliverable at time t iff the filter returns true.
 	DeliveryFilter func(m *Message, now dist.Time) bool
+	// Faults, when non-nil, is the adversarial network applied to every
+	// message: seeded loss/duplication/extra delay and scripted partitions.
+	// Decisions are a pure function of (Faults.Seed ⊕ run seed, message
+	// Seq), so sweeps stay bit-identical across worker counts. Nil costs
+	// nothing on the hot path.
+	Faults *FaultPlan
+	// StallLimit, when > 0, ends the run with ReasonStalled after that many
+	// consecutive ticks without progress (no message delivered, none sent,
+	// no decision, no operation event). It is the livelock guard for runs
+	// where loss can strand a protocol that never retransmits; a protocol
+	// that retransmits (even at a capped backoff probe rate) keeps sending
+	// and is never declared stalled.
+	StallLimit int64
 	// StopWhenDecided ends the run as soon as every correct process decided.
 	StopWhenDecided bool
 	// StopWhen, when non-nil, ends the run after any step where it holds.
@@ -87,6 +106,13 @@ type Result struct {
 	Automata []Automaton
 	// MessagesSent counts all messages enqueued during the run.
 	MessagesSent int64
+	// Fault-injection counters (all zero without a FaultPlan).
+	// MessagesDropped counts sends discarded by loss, MessagesDuplicated
+	// counts extra copies enqueued (each also counted in MessagesSent), and
+	// MessagesDelayed counts copies enqueued with a non-zero extra delay.
+	MessagesDropped    int64
+	MessagesDuplicated int64
+	MessagesDelayed    int64
 }
 
 // Decision returns p's decision, if any.
@@ -207,6 +233,12 @@ type Runner struct {
 	seq   int64
 	sent  int64
 
+	runSeed      int64     // seed of the current run (fault decision stream)
+	dropped      int64     // messages discarded by loss
+	duplicated   int64     // extra copies enqueued by duplication
+	delayed      int64     // copies enqueued with a non-zero extra delay
+	lastProgress dist.Time // last tick that delivered, sent, decided or recorded an op
+
 	automata []Automaton
 	inboxes  []inbox // indexed by ProcID (slot 0 unused)
 
@@ -281,6 +313,14 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.MaxSteps <= 0 {
 		cfg.MaxSteps = int64(10_000 * n)
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(n); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.StallLimit < 0 {
+		return nil, errors.New("sim: Config.StallLimit is negative")
+	}
 
 	r := &Runner{
 		cfg:        cfg,
@@ -322,6 +362,7 @@ func (r *Runner) Reset(seed int64) *Runner {
 	if rs, ok := r.cfg.Scheduler.(Reseeder); ok {
 		rs.Reseed(seed)
 	}
+	r.runSeed = seed
 	r.reset()
 	return r
 }
@@ -331,6 +372,10 @@ func (r *Runner) reset() {
 	r.steps = 0
 	r.seq = 0
 	r.sent = 0
+	r.dropped = 0
+	r.duplicated = 0
+	r.delayed = 0
+	r.lastProgress = 0
 	r.err = nil
 	r.ran = false
 	r.decidedSet = 0
@@ -385,6 +430,10 @@ func (r *Runner) Run() (*Result, error) {
 		Trace:        r.tr,
 		Automata:     r.automata,
 		MessagesSent: r.sent,
+
+		MessagesDropped:    r.dropped,
+		MessagesDuplicated: r.duplicated,
+		MessagesDelayed:    r.delayed,
 	}
 	r.decidedSet.ForEach(func(p dist.ProcID) {
 		res.Decisions[p] = r.decisions[p-1]
@@ -436,6 +485,9 @@ func (r *Runner) loop() StopReason {
 			r.now++
 			return ReasonAllDecided
 		}
+		if r.cfg.StallLimit > 0 && int64(t-r.lastProgress) >= r.cfg.StallLimit {
+			return ReasonStalled
+		}
 	}
 	return ReasonMaxSteps
 }
@@ -463,6 +515,9 @@ func (r *Runner) step(p dist.ProcID, t dist.Time, msg *Message) {
 
 	r.automata[p-1].Step(e)
 	r.steps++
+	if msg != nil || len(e.sends) > 0 || e.decided || len(e.ops) > 0 {
+		r.lastProgress = t
+	}
 
 	if r.tr != nil {
 		ev := trace.Event{T: t, P: p, Kind: trace.StepKind}
@@ -483,9 +538,51 @@ func (r *Runner) step(p dist.ProcID, t dist.Time, msg *Message) {
 		r.seq++
 		r.sent++
 		m := Message{Seq: r.seq, From: p, To: sr.to, Sent: t, Layer: sr.layer, Payload: sr.payload}
-		r.inboxes[sr.to].push(m)
 		if r.tr != nil {
 			r.record(trace.Event{T: t, P: p, Kind: trace.SendKind, To: sr.to, Layer: int8(sr.layer), Seq: m.Seq, Payload: sr.payload})
+		}
+		fp := r.cfg.Faults
+		if fp == nil {
+			r.inboxes[sr.to].push(m, t)
+			continue
+		}
+		drop, dup, delay, dupDelay := fp.decide(r.runSeed, m.Seq)
+		if drop {
+			r.sent--
+			r.dropped++
+			r.record(trace.Event{T: t, P: p, Kind: trace.DropKind, To: sr.to, Layer: int8(sr.layer), Seq: m.Seq, Payload: sr.payload})
+			if r.tr == nil {
+				// The sender pre-counted this delivery in the payload's
+				// lease refcount (Env.DeliveredOwned); give the lost copy's
+				// reference back so the pool is not starved.
+				if rc, ok := sr.payload.(RefCounted); ok {
+					rc.DropRef()
+				}
+			}
+			continue
+		}
+		if delay > 0 {
+			r.delayed++
+		}
+		r.inboxes[sr.to].push(m, t+delay)
+		if dup {
+			r.seq++
+			r.sent++
+			r.duplicated++
+			if dupDelay > 0 {
+				r.delayed++
+			}
+			m2 := m
+			m2.Seq = r.seq
+			if r.tr == nil {
+				// The extra copy is one more delivery than the sender
+				// leased for; account for it before it is enqueued.
+				if rc, ok := sr.payload.(RefCounted); ok {
+					rc.AddRef()
+				}
+			}
+			r.inboxes[sr.to].push(m2, t+dupDelay)
+			r.record(trace.Event{T: t, P: p, Kind: trace.SendKind, To: sr.to, Layer: int8(sr.layer), Seq: m2.Seq, Payload: sr.payload})
 		}
 	}
 
@@ -531,22 +628,30 @@ func (r *Runner) emitCrashes(t dist.Time) {
 	}
 }
 
-func (r *Runner) deliverable(m *Message, t dist.Time) bool {
-	if r.cfg.DeliveryFilter == nil {
-		return true
+func (r *Runner) deliverable(e *inboxEntry, t dist.Time) bool {
+	if e.notBefore > t {
+		return false
 	}
-	return r.cfg.DeliveryFilter(m, t)
+	if fp := r.cfg.Faults; fp != nil && fp.Blocked(e.msg.From, e.msg.To, t) {
+		return false
+	}
+	if r.cfg.DeliveryFilter != nil && !r.cfg.DeliveryFilter(&e.msg, t) {
+		return false
+	}
+	return true
 }
 
 func (r *Runner) pendingCount(p dist.ProcID, t dist.Time) int {
 	q := &r.inboxes[p]
-	if r.cfg.DeliveryFilter == nil {
+	// Fast path: without a filter or faults every live entry is deliverable
+	// (notBefore is only ever set by fault-injected delay).
+	if r.cfg.DeliveryFilter == nil && r.cfg.Faults == nil {
 		return q.live
 	}
 	cnt := 0
 	for i := q.head; i < len(q.buf); i++ {
 		e := &q.buf[i]
-		if !e.gone && r.deliverable(&e.msg, t) {
+		if !e.gone && r.deliverable(e, t) {
 			cnt++
 		}
 	}
@@ -564,7 +669,7 @@ func (r *Runner) pickMessage(p dist.ProcID, t dist.Time, c Choice) *Message {
 	q := &r.inboxes[p]
 	for i := q.head; i < len(q.buf); i++ {
 		e := &q.buf[i]
-		if e.gone || !r.deliverable(&e.msg, t) {
+		if e.gone || !r.deliverable(e, t) {
 			continue
 		}
 		if c.Mode == DeliverMatch && (c.Match == nil || !c.Match(&e.msg)) {

@@ -139,6 +139,10 @@ type Result struct {
 	// Steps.Count == Runs − Failures).
 	Steps Hist
 	Msgs  Hist
+	// Dropped and Duplicated aggregate the fault-injection counters per
+	// passing run (all-zero without a sim.FaultPlan).
+	Dropped    Hist
+	Duplicated Hist
 }
 
 // DecidedRate is the fraction of all runs in which every correct process
@@ -158,6 +162,9 @@ func (r *Result) String() string {
 		fmt.Fprintf(&b, ", %d FAILED (first seed %d: %v)", r.Failures, r.FirstFailSeed, r.FirstFailErr)
 	}
 	fmt.Fprintf(&b, "\n  steps: %s\n  msgs:  %s", r.Steps.String(), r.Msgs.String())
+	if r.Dropped.Sum > 0 || r.Duplicated.Sum > 0 {
+		fmt.Fprintf(&b, "\n  drops: %s\n  dups:  %s", r.Dropped.String(), r.Duplicated.String())
+	}
 	return b.String()
 }
 
@@ -178,6 +185,8 @@ func (r *Result) observe(seed int64, res *sim.Result, correct dist.ProcSet, chec
 		}
 		r.Steps.Observe(res.Steps)
 		r.Msgs.Observe(res.MessagesSent)
+		r.Dropped.Observe(res.MessagesDropped)
+		r.Duplicated.Observe(res.MessagesDuplicated)
 		return
 	}
 	r.Failures++
@@ -195,6 +204,8 @@ func (r *Result) merge(o *Result) {
 	}
 	r.Steps.Merge(&o.Steps)
 	r.Msgs.Merge(&o.Msgs)
+	r.Dropped.Merge(&o.Dropped)
+	r.Duplicated.Merge(&o.Duplicated)
 }
 
 // Run executes the sweep and returns the aggregate. The seed range is

@@ -74,6 +74,8 @@ func describe(e Event) string {
 		return fmt.Sprintf("return %v", e.Payload)
 	case CrashKind:
 		return "CRASH"
+	case DropKind:
+		return fmt.Sprintf("DROP  %v to p%d (loss)", e.Payload, int(e.To))
 	default:
 		return ""
 	}

@@ -44,6 +44,9 @@ const (
 	ReturnKind
 	// CrashKind records a process crash becoming effective.
 	CrashKind
+	// DropKind records a message send discarded by fault-injected loss (the
+	// message was never enqueued; there is no matching delivery).
+	DropKind
 )
 
 // String returns a short name for the kind.
@@ -63,6 +66,8 @@ func (k Kind) String() string {
 		return "return"
 	case CrashKind:
 		return "crash"
+	case DropKind:
+		return "drop"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -75,6 +80,8 @@ func (k Kind) String() string {
 //     failure-detector value observed during the step.
 //   - SendKind: P sent Payload to To on Layer at time T (Seq is the message
 //     sequence number).
+//   - DropKind: P's send of Payload to To on Layer at T was discarded by
+//     fault-injected loss (Seq is the sequence number the message carried).
 //   - DecideKind: P decided Payload at T.
 //   - EmuKind: P's emulated failure-detector output changed to Payload at T.
 //   - InvokeKind/ReturnKind: P invoked/completed an operation described by

@@ -6,12 +6,13 @@
 #   scripts/bench.sh Fig2            # only benchmarks matching the pattern
 #   COUNT=3 scripts/bench.sh         # fewer repetitions
 #   BENCHTIME=1x scripts/bench.sh    # one iteration per benchmark (CI smoke)
-#   JSON_OUT=BENCH_PR5.json scripts/bench.sh Store
+#   JSON_OUT=BENCH_PR6.json scripts/bench.sh Store
 #                                    # additionally write every benchmark row
 #                                    # as machine-readable JSON (name,
 #                                    # iterations, ns_per_op, msgs_per_op,
 #                                    # ops_per_sec, allocs_per_op, ...) so the
 #                                    # perf trajectory is trackable across PRs
+#                                    # (compare snapshots with bench_diff.sh)
 #
 # Typical trajectory tracking:
 #   scripts/bench.sh > bench_old.txt

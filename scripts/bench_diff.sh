@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Compare two bench.sh JSON files and fail on throughput regressions.
+#
+# Usage:
+#   scripts/bench_diff.sh OLD.json NEW.json [threshold-pct]
+#
+# For every benchmark row present in both files, the ops_per_sec values are
+# compared; a drop of more than threshold-pct (default 20) fails the script.
+# Fault-injection and crash rows (names matching crashshard/faults/partition)
+# are reported but never gate: their throughput intentionally pays for
+# retransmission, duplicate absorption and parked-op degradation, and the
+# price may move as the fault model grows. The failure-free rows are the
+# contract — "pay only on fault" means they must not regress.
+#
+# Both files should come from the same machine (e.g. the two committed
+# BENCH_PR*.json snapshots, measured back to back): comparing numbers from
+# different hardware makes the threshold meaningless.
+set -eu
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 OLD.json NEW.json [threshold-pct]" >&2
+  exit 2
+fi
+OLD="$1"
+NEW="$2"
+THRESHOLD="${3:-20}"
+
+awk -v threshold="$THRESHOLD" '
+  # Each row is one line: {"name":"BenchmarkX/row",...,"ops_per_sec":N,...}
+  function field(line, key,    rest) {
+    if (!match(line, "\"" key "\":[^,}]*")) return ""
+    rest = substr(line, RSTART + length(key) + 3, RLENGTH - length(key) - 3)
+    gsub(/^"|"$/, "", rest)
+    return rest
+  }
+  /"name"/ {
+    name = field($0, "name")
+    ops = field($0, "ops_per_sec")
+    if (name == "" || ops == "") next
+    if (NR == FNR) { old[name] = ops; next }
+    if (!(name in old)) { printf "NEW   %-45s %12.0f ops/sec\n", name, ops; next }
+    delta = 100 * (ops - old[name]) / old[name]
+    gate = (name ~ /crashshard|faults|partition/) ? "info" : "gate"
+    printf "%-5s %-45s %12.0f -> %12.0f ops/sec (%+.1f%%)\n", gate, name, old[name], ops, delta
+    if (gate == "gate" && delta < -threshold) {
+      printf "FAIL  %s regressed %.1f%% (threshold %s%%)\n", name, -delta, threshold
+      failed = 1
+    }
+  }
+  END {
+    if (failed) exit 1
+    print "bench diff ok: no failure-free row regressed more than " threshold "%"
+  }
+' "$OLD" "$NEW"
