@@ -37,6 +37,30 @@ func reportRun(b *testing.B, steps, msgs int64) {
 	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
 }
 
+// reportLatency reports the per-operation latency tail of a store benchmark
+// in client steps. Latencies are schedule-determined (seeds 0..b.N-1), so at
+// a fixed iteration count the percentiles are exactly reproducible — they
+// can be regression-gated like msgs/op, unlike wall-clock metrics.
+func reportLatency(b *testing.B, lat *sweep.Hist) {
+	b.Helper()
+	if lat.Count == 0 {
+		return
+	}
+	b.ReportMetric(float64(lat.Quantile(0.50)), "lat_p50_steps")
+	b.ReportMetric(float64(lat.Quantile(0.99)), "lat_p99_steps")
+	b.ReportMetric(float64(lat.Quantile(0.999)), "lat_p999_steps")
+}
+
+// mergeStoreLatency folds every store node's per-op latency histogram of one
+// finished run into lat (replicas without scripts contribute empty hists).
+func mergeStoreLatency(res *sim.Result, lat *sweep.Hist) {
+	for _, a := range res.Automata {
+		if node, ok := a.(*register.StoreNode); ok {
+			lat.Merge(node.LatencyHist())
+		}
+	}
+}
+
 // newRunner fails the benchmark on configuration errors.
 func newRunner(b *testing.B, cfg sim.Config) *sim.Runner {
 	b.Helper()
@@ -363,6 +387,15 @@ func BenchmarkABDRegister(b *testing.B) {
 // price shows up as retransmits/op, drops/op and dups/op. E25 adds a
 // scripted partition that heals mid-run on top of the E24 faults — parked
 // ops resume after the heal, so completion stays total.
+// E26–E28 trade tail latency for msgs/op with bounded-delay cross-step
+// coalescing (every store row now also reports lat_p50/p99/p999 in client
+// steps): E26 sweeps the delay budget D ∈ {0, 2, 8} closed-loop at the E22
+// shards=4 piggyback operating point (D=0 must match that row exactly); E27
+// repeats it under open-loop arrivals at roughly 80% of closed-loop capacity
+// (gap 5, jittered), where under-filled frames give coalescing traffic to
+// merge; E28 pushes the arrival rate past capacity (gap 2) so queueing
+// delay dominates the measured-from-arrival latency and the msgs/op saving
+// is at its largest.
 func BenchmarkStore(b *testing.B) {
 	const n, keys, opsPerClient = 5, 12, 12
 	f := dist.NewFailurePattern(n)
@@ -388,6 +421,7 @@ func BenchmarkStore(b *testing.B) {
 			},
 		})
 		var steps, msgs, completed, replicaBytes int64
+		var lat sweep.Hist
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -409,11 +443,13 @@ func BenchmarkStore(b *testing.B) {
 			completed += int64(done)
 			steps += res.Steps
 			msgs += res.MessagesSent
+			mergeStoreLatency(res, &lat)
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
 		b.ReportMetric(float64(replicaBytes)/float64(n), "replica-B/node")
 		reportRun(b, steps, msgs)
+		reportLatency(b, &lat)
 	}
 	// E17: throughput vs pipelining window.
 	for _, w := range []int{1, 2, 4, 8} {
@@ -454,6 +490,33 @@ func BenchmarkStore(b *testing.B) {
 	b.Run("crashshard-adaptive", func(b *testing.B) {
 		runStoreCrashShard(b, register.StoreConfig{Keys: keys, Shards: 2, Window: 2, AdaptiveWindow: true, MaxWindow: 4})
 	})
+	// E26: the delay budget closed-loop at the E22 shards=4 piggyback point
+	// (coalesce=0 must reproduce that row bit for bit).
+	for _, d := range []int{0, 2, 8} {
+		b.Run(benchName("coalesce", d), func(b *testing.B) {
+			run(b, register.StoreConfig{
+				Keys: keys, Shards: 4, Window: 8, Piggyback: true, CoalesceDelay: d,
+			}, 4)
+		})
+	}
+	// E27: open-loop arrivals at ~80% of closed-loop capacity.
+	for _, d := range []int{0, 2, 8} {
+		b.Run(benchName("openloop-coalesce", d), func(b *testing.B) {
+			run(b, register.StoreConfig{
+				Keys: keys, Shards: 4, Window: 8, Piggyback: true, CoalesceDelay: d,
+				OpenLoop: true, ArrivalGap: 5, ArrivalJitter: true,
+			}, 4)
+		})
+	}
+	// E28: open-loop overload — arrivals faster than the store can serve.
+	for _, d := range []int{0, 2, 8} {
+		b.Run(benchName("overload-coalesce", d), func(b *testing.B) {
+			run(b, register.StoreConfig{
+				Keys: keys, Shards: 4, Window: 8, Piggyback: true, CoalesceDelay: d,
+				OpenLoop: true, ArrivalGap: 2, ArrivalJitter: true,
+			}, 4)
+		})
+	}
 	// E24: lossy, duplicating, delaying network with retransmission armed.
 	b.Run("faults-loss", func(b *testing.B) {
 		runStoreFaults(b,
@@ -514,6 +577,7 @@ func runStoreCrashShard(b *testing.B, cfg register.StoreConfig) {
 		},
 	})
 	var steps, msgs, completed int64
+	var lat sweep.Hist
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -533,10 +597,12 @@ func runStoreCrashShard(b *testing.B, cfg register.StoreConfig) {
 		completed += int64(done)
 		steps += res.Steps
 		msgs += res.MessagesSent
+		mergeStoreLatency(res, &lat)
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
 	reportRun(b, steps, msgs)
+	reportLatency(b, &lat)
 }
 
 // runStoreFaults is the E24/E25 harness: a failure-free process set under
@@ -581,6 +647,7 @@ func runStoreFaults(b *testing.B, cfg register.StoreConfig, withPartition bool) 
 		},
 	})
 	var steps, msgs, completed, retransmits, drops, dups int64
+	var lat sweep.Hist
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -603,6 +670,7 @@ func runStoreFaults(b *testing.B, cfg register.StoreConfig, withPartition bool) 
 		msgs += res.MessagesSent
 		drops += res.MessagesDropped
 		dups += res.MessagesDuplicated
+		mergeStoreLatency(res, &lat)
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
@@ -610,6 +678,7 @@ func runStoreFaults(b *testing.B, cfg register.StoreConfig, withPartition bool) 
 	b.ReportMetric(float64(drops)/float64(completed), "drops/op")
 	b.ReportMetric(float64(dups)/float64(completed), "dups/op")
 	reportRun(b, steps, msgs)
+	reportLatency(b, &lat)
 }
 
 // BenchmarkConsensus regenerates experiment E13: the Ω+Σ baseline.

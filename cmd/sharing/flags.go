@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -175,6 +176,29 @@ func parsePartition(m *register.ShardMap, spec string) ([]dist.Partition, error)
 		})
 	}
 	return out, nil
+}
+
+// openLoopGap turns the -openloop/-rate pair into the store's mean
+// inter-arrival gap in client steps: -rate is the offered load in ops per
+// client step, the gap its rounded reciprocal (floored at 1 — back-to-back
+// arrivals). rate 0 means unset and yields gap 0, the store's own default
+// (gap 1). -rate without -openloop is rejected: closed-loop clients have no
+// arrival schedule to pace.
+func openLoopGap(openLoop bool, rate float64) (int, error) {
+	if rate != 0 && !openLoop {
+		return 0, fmt.Errorf("-rate needs -openloop (closed-loop clients have no arrival schedule to pace)")
+	}
+	if rate < 0 {
+		return 0, fmt.Errorf("-rate %g must be positive", rate)
+	}
+	if rate == 0 {
+		return 0, nil
+	}
+	gap := int(math.Round(1 / rate))
+	if gap < 1 {
+		gap = 1
+	}
+	return gap, nil
 }
 
 // clientSet validates -clients and returns the store member set

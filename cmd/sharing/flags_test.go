@@ -266,3 +266,32 @@ func TestActiveSet(t *testing.T) {
 		}
 	}
 }
+
+func TestOpenLoopGap(t *testing.T) {
+	for _, tc := range []struct {
+		openLoop bool
+		rate     float64
+		want     int
+		wantErr  bool
+	}{
+		{false, 0, 0, false},   // both unset: closed loop
+		{true, 0, 0, false},    // open loop at the store default (gap 1)
+		{true, 1, 1, false},    // one op per step
+		{true, 0.25, 4, false}, // gap = round(1/rate)
+		{true, 0.3, 3, false},  // rounded, not truncated
+		{true, 5, 1, false},    // super-unit rates floor at gap 1
+		{false, 0.5, 0, true},  // -rate needs -openloop
+		{true, -0.5, 0, true},  // negative rate
+	} {
+		got, err := openLoopGap(tc.openLoop, tc.rate)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("openLoopGap(%v, %g): expected error", tc.openLoop, tc.rate)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("openLoopGap(%v, %g) = (%d, %v), want %d", tc.openLoop, tc.rate, got, err, tc.want)
+		}
+	}
+}

@@ -94,6 +94,7 @@ subcommands:
                   -adaptive -maxwindow 16 -stall 16
                   -loss 0.05 -dup 0.05 -delay 3 -faultseed 7 -partition "1:2@20-60"
                   -retransmit -rto 32 -maxrto 256 -stalllimit 20000
+                  -openloop -rate 0.25 -coalesce 2
   consensus       -n 5 -seed 1 -crash "5"
   counterexample  lemma7|lemma11|lemma15|tightness  [-n 5 -k 2 -seed 1]
   emulate         fig3|fig5|fig6  [-n 5 -seed 1]
@@ -454,6 +455,9 @@ func cmdStore(args []string) error {
 	rto := fs.Int("rto", 0, "initial retransmission timeout in client steps (0 = default; requires -retransmit)")
 	maxRTO := fs.Int("maxrto", 0, "retransmission backoff cap in client steps (0 = 8×rto; requires -retransmit)")
 	stallLimit := fs.Int64("stalllimit", 0, "end a run that makes no progress for this many ticks with reason \"stalled\" (0 = off)")
+	openLoop := fs.Bool("openloop", false, "open-loop clients: ops become eligible on a jittered seeded arrival schedule instead of on window refill, and latency is measured from arrival (queueing delay included)")
+	rate := fs.Float64("rate", 0, "open-loop offered load in ops per client step; the mean inter-arrival gap is round(1/rate) (0 = back-to-back arrivals; requires -openloop)")
+	coalesce := fs.Int("coalesce", 0, "bounded-delay cross-step coalescing: park an under-filled batch/frame up to this many steps to merge same-destination traffic (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -465,11 +469,20 @@ func cmdStore(args []string) error {
 	if err != nil {
 		return err
 	}
+	gap, err := openLoopGap(*openLoop, *rate)
+	if err != nil {
+		return err
+	}
 	storeCfg := register.StoreConfig{
 		Keys: *keys, Shards: *shards, Window: *window,
 		DisableBatching: *nobatch, Piggyback: *piggyback,
 		AdaptiveWindow: *adaptive, MaxWindow: *maxWindow, StallSteps: *stall,
 		Retransmit: *retransmit, RTO: *rto, MaxRTO: *maxRTO,
+		OpenLoop: *openLoop, ArrivalGap: gap, ArrivalJitter: *openLoop,
+		CoalesceDelay: *coalesce,
+	}
+	if *openLoop {
+		storeCfg.ArrivalSeed = *wseed // decorrelate arrivals from the scheduler seeds
 	}
 	shardMap, err := storeCfg.ShardMap(*n) // validates the whole store config
 	if err != nil {
@@ -542,6 +555,9 @@ func cmdStore(args []string) error {
 	}
 	fmt.Printf("store on %v, S=%v, keys=%d shards=%d %s batching=%v piggyback=%v: %d runs × %d scripted ops (%d guaranteed at correct clients)\n",
 		f, s, *keys, shardMap.Shards(), windowDesc, !*nobatch, *piggyback, res.Runs, register.TotalKeyedOps(scripts), opsPerRun)
+	if *openLoop || *coalesce > 0 {
+		fmt.Printf("  load: openloop=%v gap=%d(jittered) coalesce=%d\n", *openLoop, storeCfg.EffectiveArrivalGap(), *coalesce)
+	}
 	if faults != nil {
 		fmt.Printf("  faults: loss=%.3g dup=%.3g maxdelay=%d seed=%d retransmit=%v",
 			faults.Loss, faults.Dup, int64(faults.MaxDelay), faults.Seed, *retransmit)
@@ -570,6 +586,13 @@ func cmdStore(args []string) error {
 	fmt.Printf("  steps: %s\n  msgs:  %s\n", res.Steps.String(), res.Msgs.String())
 	if res.Dropped.Sum > 0 || res.Duplicated.Sum > 0 {
 		fmt.Printf("  drops: %s\n  dups:  %s\n", res.Dropped.String(), res.Duplicated.String())
+	}
+	if res.Lat.Count > 0 {
+		// Per-op latency in client steps, one observation per completed op
+		// across all passing runs. Open-loop runs measure from arrival, so
+		// queueing delay under overload is part of the tail.
+		fmt.Printf("  lat:   p50=%d p99=%d p99.9=%d steps | %s\n",
+			res.Lat.Quantile(0.50), res.Lat.Quantile(0.99), res.Lat.Quantile(0.999), res.Lat.String())
 	}
 	passed := res.Runs - res.Failures // completion is only guaranteed for runs that passed verification
 	fmt.Printf("  %d completed ops in %v (%.0f ops/sec, %.0f runs/sec)\n",

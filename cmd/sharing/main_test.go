@@ -22,6 +22,10 @@ func TestSubcommandsSucceed(t *testing.T) {
 		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "3", "-piggyback"},
 		{"store", "-n", "6", "-keys", "9", "-shards", "3", "-clients", "2", "-window", "2", "-ops", "8", "-seeds", "3",
 			"-adaptive", "-maxwindow", "6", "-stall", "8", "-piggyback", "-crashshard", "2@30"},
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "3", "-openloop", "-rate", "0.25"},
+		{"store", "-n", "6", "-keys", "8", "-shards", "2", "-clients", "2", "-window", "4", "-ops", "8", "-seeds", "3",
+			"-piggyback", "-openloop", "-rate", "0.5", "-coalesce", "2"},
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "2", "-coalesce", "4"},
 		{"consensus", "-n", "4"},
 		{"counterexample", "lemma7", "-n", "4"},
 		{"counterexample", "lemma11", "-n", "5", "-k", "2"},
@@ -73,6 +77,10 @@ func TestSubcommandsFail(t *testing.T) {
 		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-piggyback", "-nobatch"},         // piggyback silently disabled
 		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-maxwindow", "8"},                // controller knob without -adaptive
 		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-adaptive", "-maxwindow", "2"},   // cap below start window (default 4)
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-rate", "0.5"},                   // -rate needs -openloop
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-openloop", "-rate", "-1"},       // negative rate
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-coalesce", "-2"},                // negative delay budget
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-nobatch", "-coalesce", "2"},     // nothing to merge unbatched
 		{"explore", "-fig", "bogus"},
 		{"explore", "-fig", "fig4", "-n", "3", "-k", "2"},
 		{"explore", "-fig", "fig2", "-n", "3", "-crash", "3@10"}, // crash at 10 ≥ TimeCap 1

@@ -2,11 +2,13 @@ package register
 
 import (
 	"fmt"
+	"math"
 	"unsafe"
 
 	"repro/internal/dist"
 	"repro/internal/fd"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // KeyedOp is one scripted client operation against the keyed register store.
@@ -298,6 +300,39 @@ type StoreConfig struct {
 	// MaxRTO caps the exponential backoff. 0 defaults to 8×RTO; a non-zero
 	// value must be ≥ RTO and requires Retransmit.
 	MaxRTO int
+	// OpenLoop switches clients from closed-loop operation (a new op may
+	// start whenever its shard's window has room) to open-loop arrivals:
+	// scripted op i becomes *eligible* at a seeded arrival step of the
+	// client's own step clock, and per-op latency is measured from that
+	// arrival — queueing delay included — so offered load beyond the window
+	// capacity (overload) becomes an observable regime instead of an
+	// impossible one.
+	OpenLoop bool
+	// ArrivalGap is the mean inter-arrival gap between consecutive scripted
+	// ops of one client, in the client's own steps. 0 defaults to 1 (ops
+	// arrive back to back — maximum offered load); requires OpenLoop.
+	ArrivalGap int
+	// ArrivalJitter draws exponential-ish per-op gaps with mean ArrivalGap
+	// from a splitmix-style pure hash of (ArrivalSeed, client, op index) —
+	// the sim.FaultPlan idiom, no mutable RNG — so arrival schedules and
+	// sweep aggregates stay bit-identical across worker counts. Requires
+	// OpenLoop.
+	ArrivalJitter bool
+	// ArrivalSeed decorrelates the jittered arrival schedule from the
+	// workload and scheduler seeds. Requires OpenLoop.
+	ArrivalSeed int64
+	// CoalesceDelay D > 0 enables bounded-delay cross-step coalescing: an
+	// under-filled outgoing request batch (or piggyback frame) may park for
+	// up to D of the sender's scheduled steps to merge with later
+	// same-destination traffic before flushing — a bounded, measured
+	// latency increase traded for fewer msgs/op. A parked batch flushes
+	// early once it already carries a full window of entries (nothing more
+	// can join until a completion, which the parked batch itself gates).
+	// Retransmission timers stretch by 2D so parking never triggers
+	// spurious retransmits. 0 keeps today's flush-every-step path,
+	// bit-identical to a build without coalescing; rejected together with
+	// DisableBatching (one entry per message leaves nothing to merge).
+	CoalesceDelay int
 }
 
 func (c StoreConfig) window() int {
@@ -342,9 +377,43 @@ func (c StoreConfig) maxRTO() int {
 	return 8 * c.rto()
 }
 
+func (c StoreConfig) arrivalGap() int {
+	if c.ArrivalGap > 0 {
+		return c.ArrivalGap
+	}
+	return 1
+}
+
+// arrivalMix is the splitmix64-style finalizer sim.FaultPlan uses: arrival
+// schedules are a pure function of (seed, client, index), never of execution
+// order, which keeps sweeps bit-identical across worker counts.
+func arrivalMix(a, b uint64) uint64 {
+	z := a + b*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// arrivalGapAt returns the inter-arrival gap preceding scripted op idx of
+// client self: the fixed mean, or an exponential-ish jittered draw with that
+// mean (0-step gaps model bursts; the 53-bit hash bounds the tail at ~37×).
+func (c StoreConfig) arrivalGapAt(self dist.ProcID, idx int) int64 {
+	g := int64(c.arrivalGap())
+	if !c.ArrivalJitter {
+		return g
+	}
+	u := float64(arrivalMix(uint64(c.ArrivalSeed)*0xD1342543DE82EF95+uint64(self), uint64(idx))>>11) / (1 << 53)
+	return int64(-math.Log1p(-u)*float64(g) + 0.5)
+}
+
 // EffectiveMaxWindow returns the adaptive controller's growth cap after
 // defaulting: MaxWindow when set, else 4×Window.
 func (c StoreConfig) EffectiveMaxWindow() int { return c.maxWindow() }
+
+// EffectiveArrivalGap reports the mean inter-arrival gap open-loop clients
+// use after defaulting (ArrivalGap, or 1 when unset) — for human-facing
+// reports.
+func (c StoreConfig) EffectiveArrivalGap() int { return c.arrivalGap() }
 
 // Validate rejects configurations that would otherwise produce a silently
 // empty, undefined or self-defeating run: a non-positive key space, a window
@@ -396,6 +465,18 @@ func (c StoreConfig) ShardMap(n int) (*ShardMap, error) {
 	if c.Retransmit && c.MaxRTO != 0 && c.MaxRTO < c.rto() {
 		return nil, fmt.Errorf("register: MaxRTO %d below the initial RTO %d", c.MaxRTO, c.rto())
 	}
+	if c.ArrivalGap < 0 {
+		return nil, fmt.Errorf("register: store ArrivalGap %d is negative", c.ArrivalGap)
+	}
+	if !c.OpenLoop && (c.ArrivalGap != 0 || c.ArrivalJitter || c.ArrivalSeed != 0) {
+		return nil, fmt.Errorf("register: ArrivalGap/ArrivalJitter/ArrivalSeed require OpenLoop")
+	}
+	if c.CoalesceDelay < 0 {
+		return nil, fmt.Errorf("register: store CoalesceDelay %d is negative", c.CoalesceDelay)
+	}
+	if c.CoalesceDelay > 0 && c.DisableBatching {
+		return nil, fmt.Errorf("register: CoalesceDelay with DisableBatching has nothing to merge (one entry per message); enable at most one")
+	}
 	return NewShardMap(n, c.Keys, c.shards())
 }
 
@@ -419,6 +500,18 @@ type storeOp struct {
 	// to MaxRTO. Both reset on phase transition.
 	lastSend int64
 	rto      int
+
+	// Latency origin in client steps: the step the op started (closed
+	// loop), or its scripted arrival step (open loop — queueing delay
+	// between arrival and start counts toward the measured latency).
+	invoke int64
+}
+
+// queuedOp is one not-yet-started scripted op in a per-shard client queue,
+// carrying its open-loop arrival step (0 under closed loop).
+type queuedOp struct {
+	op      KeyedOp
+	arrival int64
 }
 
 // shardWin is the AIMD controller state of one (client, shard) pair.
@@ -450,7 +543,7 @@ type StoreNode struct {
 	// Client state: the script split into per-shard FIFO queues (script
 	// order within each shard, which keys make per-key program order), one
 	// window controller per shard.
-	queues    [][]KeyedOp
+	queues    [][]queuedOp
 	queued    int // ops remaining across all queues
 	scriptLen int
 	opSeq     int64
@@ -491,11 +584,28 @@ type StoreNode struct {
 	// destination (indexed by ProcID; nil when absent) plus the
 	// deterministic flush order, and the step's deferred replies — a step
 	// delivers at most one message, so they have at most one destination.
+	// With coalescing a frame may stay under construction across steps.
 	outFrame []*storeFrame
 	outDsts  []dist.ProcID
 	repDst   dist.ProcID
 	repQ     []queryRepEntry
 	repS     []storeRepEntry
+
+	// Per-op latency observations in the client's own steps, one per
+	// completed op, recorded in the pend slots (not via trace op-records,
+	// which untraced runs mute) and drained by sweeps through LatencyHist.
+	lat sweep.Hist
+
+	// Bounded-delay coalescing state (see initCoalesce; armed only when
+	// CoalesceDelay > 0): clock is the node's scheduled-step count — it
+	// ticks for replicas too, which park reply frames — and the *HeldT
+	// arrays hold the clock at which each accumulator's oldest parked
+	// entry arrived (-1 when empty; frameT is live while outFrame[p] is).
+	coalesce bool
+	clock    int64
+	qHeldT   []int64
+	sHeldT   []int64
+	frameT   []int64
 }
 
 var _ sim.Automaton = (*StoreNode)(nil)
@@ -532,7 +642,7 @@ func newStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, m *S
 		pool:   pool,
 		ts:     make([][]Timestamp, m.Shards()),
 		val:    make([][]Value, m.Shards()),
-		queues: make([][]KeyedOp, m.Shards()),
+		queues: make([][]queuedOp, m.Shards()),
 		win:    make([]shardWin, m.Shards()),
 		load:   make([]int, m.Shards()),
 		qOut:   make([][]queryEntry, m.Shards()),
@@ -573,6 +683,12 @@ func newStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, m *S
 		if cfg.Retransmit {
 			outCap *= 2
 		}
+		if cfg.CoalesceDelay > 0 {
+			// A parked accumulator merges up to CoalesceDelay steps of
+			// traffic before flushing; size for that high-water mark so
+			// parking never grows the buffers mid-measurement.
+			outCap *= cfg.CoalesceDelay + 2
+		}
 		for sh := 0; sh < m.Shards(); sh++ {
 			a.qOut[sh] = make([]queryEntry, 0, outCap)
 			a.sOut[sh] = make([]storeEntry, 0, outCap)
@@ -587,15 +703,43 @@ func newStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, m *S
 			a.load[m.Shard(op.Key)]++
 		}
 		for sh := range a.queues {
-			a.queues[sh] = make([]KeyedOp, 0, a.load[sh])
+			a.queues[sh] = make([]queuedOp, 0, a.load[sh])
 			a.load[sh] = 0
 		}
-		for _, op := range script {
+		// Open-loop arrival schedule: the cumulative jittered (or fixed)
+		// gaps over the script, assigned in script order so per-shard FIFO
+		// queues stay arrival-ordered. Closed loop leaves every arrival 0.
+		arr := int64(0)
+		for idx, op := range script {
+			if cfg.OpenLoop && idx > 0 {
+				arr += cfg.arrivalGapAt(self, idx)
+			}
 			sh := m.Shard(op.Key)
-			a.queues[sh] = append(a.queues[sh], op)
+			a.queues[sh] = append(a.queues[sh], queuedOp{op: op, arrival: arr})
 		}
 	}
+	if cfg.CoalesceDelay > 0 {
+		a.initCoalesce()
+	}
 	return a
+}
+
+// initCoalesce arms the bounded-delay coalescing flush path and allocates
+// its parking state. Split out of construction so the degenerate-budget
+// regression test can route a CoalesceDelay=0 node through the coalescing
+// machinery (deadlines expire immediately) and assert the message stream is
+// byte-identical to the legacy flush-every-step path.
+func (a *StoreNode) initCoalesce() {
+	a.coalesce = true
+	a.qHeldT = make([]int64, a.shards.Shards())
+	a.sHeldT = make([]int64, a.shards.Shards())
+	for sh := range a.qHeldT {
+		a.qHeldT[sh] = -1
+		a.sHeldT[sh] = -1
+	}
+	if a.cfg.Piggyback {
+		a.frameT = make([]int64, a.n+1)
+	}
 }
 
 // StoreProgram builds a sim.Program running a StoreNode at every process of
@@ -676,6 +820,13 @@ func (a *StoreNode) Retransmits() int64 { return a.retransmits }
 // ScriptedOps returns the length of the node's client script.
 func (a *StoreNode) ScriptedOps() int { return a.scriptLen }
 
+// LatencyHist exposes the node's per-op latency observations in its own
+// client steps: one observation per completed op, measured from the op's
+// start (closed loop) or scripted arrival (open loop — queueing included).
+// Sweeps merge these exactly, so aggregated percentiles are bit-identical
+// across worker counts.
+func (a *StoreNode) LatencyHist() *sweep.Hist { return &a.lat }
+
 // Shards returns the shard map the node routes by.
 func (a *StoreNode) Shards() *ShardMap { return a.shards }
 
@@ -710,6 +861,7 @@ func (a *StoreNode) locate(key int) (sh, loc int, ok bool) {
 
 // Step implements sim.Automaton.
 func (a *StoreNode) Step(e *sim.Env) {
+	a.clock++ // scheduled-step clock: coalescing deadlines at clients and replicas
 	if payload, from, ok := e.Delivered(); ok {
 		a.onMessage(e, payload, from)
 	}
@@ -960,9 +1112,17 @@ func (a *StoreNode) retransmit() {
 	if !a.cfg.Retransmit || len(a.pend) == 0 {
 		return
 	}
+	// Coalescing parks a request for up to CoalesceDelay steps in this
+	// node's own accumulators — the timer restarts when it actually departs
+	// (restampQueries/restampStores), so the local park never burns RTO
+	// budget — and parks its reply for up to CoalesceDelay *replica* steps,
+	// which this client cannot observe. The 2D slack covers the not-yet-
+	// departed window plus the replica-side park, so a parked-but-healthy
+	// exchange never looks lost.
+	slack := 2 * int64(a.cfg.CoalesceDelay)
 	for i := range a.pend {
 		op := &a.pend[i]
-		if a.steps-op.lastSend < int64(op.rto) {
+		if a.steps-op.lastSend < int64(op.rto)+slack {
 			continue
 		}
 		op.lastSend = a.steps
@@ -977,6 +1137,50 @@ func (a *StoreNode) retransmit() {
 			a.qOut[op.shard] = append(a.qOut[op.shard], queryEntry{Key: op.key, RID: op.rid})
 		case 2:
 			a.sOut[op.shard] = append(a.sOut[op.shard], storeEntry{Key: op.key, RID: op.rid, TS: op.best, V: op.bestVal})
+		}
+	}
+}
+
+// restampQueries resets the retransmission timer of every outstanding
+// phase-1 op whose request is among the just-departed entries. Coalescing
+// may park a request in the sender's own accumulators for up to
+// CoalesceDelay steps; the RTO measures the network round trip, which only
+// starts at departure. Matching is by (key, rid), so stale entries of a
+// superseded phase restamp nothing. Only called on coalescing nodes —
+// pend and the entry slices are window-bounded and nothing allocates.
+func (a *StoreNode) restampQueries(entries []queryEntry) {
+	if !a.cfg.Retransmit || len(a.pend) == 0 {
+		return
+	}
+	for i := range a.pend {
+		op := &a.pend[i]
+		if op.phase != 1 {
+			continue
+		}
+		for _, q := range entries {
+			if q.Key == op.key && q.RID == op.rid {
+				op.lastSend = a.steps
+				break
+			}
+		}
+	}
+}
+
+// restampStores is restampQueries for phase-2 store requests.
+func (a *StoreNode) restampStores(entries []storeEntry) {
+	if !a.cfg.Retransmit || len(a.pend) == 0 {
+		return
+	}
+	for i := range a.pend {
+		op := &a.pend[i]
+		if op.phase != 2 {
+			continue
+		}
+		for _, s := range entries {
+			if s.Key == op.key && s.RID == op.rid {
+				op.lastSend = a.steps
+				break
+			}
 		}
 	}
 }
@@ -1045,6 +1249,7 @@ func (a *StoreNode) advance(e *sim.Env) {
 				}
 				e.Return(op.seq, desc)
 			}
+			a.lat.Observe(a.steps - op.invoke)
 			a.completed++
 			a.load[op.shard]--
 			a.noteCompletion(op.shard)
@@ -1058,14 +1263,25 @@ func (a *StoreNode) advance(e *sim.Env) {
 // in script order within their shard, and an op whose key is already in
 // flight blocks the ones behind it on the same shard only (head-of-line
 // blocking keeps per-client per-key program order; other shards keep
-// flowing, so a slow or dead shard never stalls the rest).
+// flowing, so a slow or dead shard never stalls the rest). Under OpenLoop
+// an op additionally waits for its arrival step: the window only gates how
+// many eligible ops run at once, and time queued past arrival is charged to
+// the op's measured latency.
 func (a *StoreNode) start(e *sim.Env) {
 	for sh := range a.queues {
 		w := a.winFor(sh)
 		for len(a.queues[sh]) > 0 && a.shardLoad(sh) < w {
-			op := a.queues[sh][0]
+			head := a.queues[sh][0]
+			if head.arrival > a.steps {
+				break // open loop: not yet arrived (per-shard FIFO order holds)
+			}
+			op := head.op
 			if a.inFlight(op.Key) {
 				break
+			}
+			invoke := a.steps
+			if a.cfg.OpenLoop {
+				invoke = head.arrival
 			}
 			a.queues[sh] = a.queues[sh][1:]
 			a.queued--
@@ -1084,6 +1300,7 @@ func (a *StoreNode) start(e *sim.Env) {
 				phase:    1,
 				lastSend: a.steps,
 				rto:      a.rto0,
+				invoke:   invoke,
 			}
 			if s, loc, owned := a.locate(op.Key); owned {
 				pend.acks = dist.NewProcSet(a.self)
@@ -1124,14 +1341,17 @@ func (a *StoreNode) sendShared(e *sim.Env, group dist.ProcSet, payload any, refs
 // one message per entry when batching is disabled, or one combined frame
 // per destination when piggybacking — and clears every per-step
 // accumulator. Requests only travel to their shard's replica group — the
-// routing that keeps quorum traffic off processes outside the group.
+// routing that keeps quorum traffic off processes outside the group. With
+// coalescing armed an under-filled accumulator may park across steps (see
+// park) before it becomes a batch; the batch itself is built only at send
+// time, so parking costs no extra pool traffic.
 func (a *StoreNode) flush(e *sim.Env) {
 	if a.cfg.Piggyback {
 		a.flushPiggyback(e)
 		return
 	}
 	for sh := range a.qOut {
-		if len(a.qOut[sh]) > 0 {
+		if len(a.qOut[sh]) > 0 && !(a.coalesce && a.park(&a.qHeldT[sh], len(a.qOut[sh]), sh)) {
 			group := a.shards.Group(sh)
 			if a.cfg.DisableBatching {
 				for _, q := range a.qOut[sh] {
@@ -1149,9 +1369,13 @@ func (a *StoreNode) flush(e *sim.Env) {
 					a.pool.qReq.put(b)
 				}
 			}
+			if a.coalesce {
+				a.restampQueries(a.qOut[sh])
+				a.qHeldT[sh] = -1
+			}
 			a.qOut[sh] = a.qOut[sh][:0]
 		}
-		if len(a.sOut[sh]) > 0 {
+		if len(a.sOut[sh]) > 0 && !(a.coalesce && a.park(&a.sHeldT[sh], len(a.sOut[sh]), sh)) {
 			group := a.shards.Group(sh)
 			if a.cfg.DisableBatching {
 				for _, s := range a.sOut[sh] {
@@ -1168,9 +1392,27 @@ func (a *StoreNode) flush(e *sim.Env) {
 					a.pool.sReq.put(b)
 				}
 			}
+			if a.coalesce {
+				a.restampStores(a.sOut[sh])
+				a.sHeldT[sh] = -1
+			}
 			a.sOut[sh] = a.sOut[sh][:0]
 		}
 	}
+}
+
+// park stamps an accumulator's first-parked time and reports whether it
+// should keep waiting for more same-destination traffic: its age is below
+// the CoalesceDelay budget and it holds less than a full window of entries
+// (a full window cannot grow — every slot already contributed, and the
+// completions that would free slots are gated on this very flush, so
+// waiting longer is pure latency loss). With a zero budget the deadline has
+// always expired and flush degenerates to the legacy every-step path.
+func (a *StoreNode) park(heldT *int64, entries, sh int) bool {
+	if *heldT < 0 {
+		*heldT = a.clock
+	}
+	return a.clock-*heldT < int64(a.cfg.CoalesceDelay) && entries < a.winFor(sh)
 }
 
 // flushPiggyback folds everything the step produced for one destination —
@@ -1205,6 +1447,29 @@ func (a *StoreNode) flushPiggyback(e *sim.Env) {
 	a.repQ = a.repQ[:0]
 	a.repS = a.repS[:0]
 	a.repDst = dist.None
+	if a.coalesce {
+		// Bounded-delay parking: a frame younger than the budget stays
+		// under construction (lease order — and thus send order — is
+		// preserved by in-place compaction of outDsts), merging the next
+		// steps' traffic for its destination. Replicas park their reply
+		// frames on the same clock: their Step ticks it even though the
+		// client block never runs there.
+		kept := a.outDsts[:0]
+		for _, p := range a.outDsts {
+			if a.clock-a.frameT[p] < int64(a.cfg.CoalesceDelay) {
+				kept = append(kept, p)
+				continue
+			}
+			f := a.outFrame[p]
+			a.outFrame[p] = nil
+			f.refs = 1
+			a.restampQueries(f.Q)
+			a.restampStores(f.S)
+			e.Send(p, f)
+		}
+		a.outDsts = kept
+		return
+	}
 	for _, p := range a.outDsts {
 		f := a.outFrame[p]
 		a.outFrame[p] = nil
@@ -1215,7 +1480,9 @@ func (a *StoreNode) flushPiggyback(e *sim.Env) {
 }
 
 // frameFor returns the frame under construction for destination p, leasing
-// a pooled one on first use this step and recording the flush order.
+// a pooled one on first use and recording the flush order. With coalescing
+// the lease also stamps the frame's park time: its age — and so its flush
+// deadline — is measured from its oldest content.
 func (a *StoreNode) frameFor(p dist.ProcID) *storeFrame {
 	if f := a.outFrame[p]; f != nil {
 		return f
@@ -1223,5 +1490,8 @@ func (a *StoreNode) frameFor(p dist.ProcID) *storeFrame {
 	f := a.pool.getFrame()
 	a.outFrame[p] = f
 	a.outDsts = append(a.outDsts, p)
+	if a.coalesce {
+		a.frameT[p] = a.clock
+	}
 	return f
 }

@@ -1,0 +1,343 @@
+package register
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/fd"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestStoreCoalesceConfigGates pins the construction-time rejections of the
+// open-loop and coalescing knobs.
+func TestStoreCoalesceConfigGates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  StoreConfig
+		want string
+	}{
+		{"negative coalesce delay", StoreConfig{Keys: 2, Window: 1, CoalesceDelay: -1}, "negative"},
+		{"coalesce with batching disabled", StoreConfig{Keys: 2, Window: 1, DisableBatching: true, CoalesceDelay: 2}, "DisableBatching"},
+		{"negative arrival gap", StoreConfig{Keys: 2, Window: 1, OpenLoop: true, ArrivalGap: -3}, "negative"},
+		{"arrival gap without open loop", StoreConfig{Keys: 2, Window: 1, ArrivalGap: 4}, "OpenLoop"},
+		{"arrival jitter without open loop", StoreConfig{Keys: 2, Window: 1, ArrivalJitter: true}, "OpenLoop"},
+		{"arrival seed without open loop", StoreConfig{Keys: 2, Window: 1, ArrivalSeed: 7}, "OpenLoop"},
+	} {
+		if err := tc.cfg.Validate(4); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	// The valid combinations construct fine.
+	for _, cfg := range []StoreConfig{
+		{Keys: 2, Window: 1, CoalesceDelay: 4},
+		{Keys: 2, Window: 1, OpenLoop: true},
+		{Keys: 2, Window: 1, OpenLoop: true, ArrivalGap: 3, ArrivalJitter: true, ArrivalSeed: 9},
+		{Keys: 2, Window: 2, Piggyback: true, CoalesceDelay: 2, OpenLoop: true, ArrivalGap: 2},
+	} {
+		if err := cfg.Validate(4); err != nil {
+			t.Errorf("valid config rejected: %+v: %v", cfg, err)
+		}
+	}
+}
+
+// sendStream renders a traced run's message sends — time, endpoints,
+// sequence number and full payload contents — for byte-for-byte stream
+// comparison. Traced runs never recycle pooled payloads, so the recorded
+// pointers still hold the sent contents. Pointer addresses (the payloads'
+// back-reference to their pool) are masked: the two runs compare by
+// content, not identity.
+var hexAddr = regexp.MustCompile(`0x[0-9a-f]+`)
+
+func sendStream(res *sim.Result) []string {
+	var out []string
+	for _, e := range res.Trace.Events() {
+		if e.Kind != trace.SendKind {
+			continue
+		}
+		s := fmt.Sprintf("t=%d p%d->p%d seq=%d %+v", int64(e.T), int(e.P), int(e.To), e.Seq, e.Payload)
+		out = append(out, hexAddr.ReplaceAllString(s, "0x?"))
+	}
+	return out
+}
+
+// TestStoreCoalesceZeroBitIdentical is the D=0 regression: a node with the
+// coalescing machinery force-armed at a zero delay budget must produce a
+// message stream bit-identical to the coalescing-unaware build — same sends,
+// same steps, same payload contents, same order. This pins that every
+// behavioral change is gated on a positive budget, not on the machinery
+// being wired up.
+func TestStoreCoalesceZeroBitIdentical(t *testing.T) {
+	const n = 5
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 8, Shards: 2, OpsPerClient: 10, WriteRatio: -1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []StoreConfig{
+		{Keys: 8, Shards: 2, Window: 4},
+		{Keys: 8, Shards: 2, Window: 4, Piggyback: true, Retransmit: true, RTO: 16},
+	} {
+		m, err := cfg.ShardMap(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients := s.Intersect(f.Correct())
+		avail := m.Available(f.Correct())
+		for seed := int64(0); seed < 4; seed++ {
+			plain := runStore(t, f, s, cfg, scripts, 10, seed)
+			// Same config, but every node runs with initCoalesce() forced at
+			// CoalesceDelay == 0 — the machinery armed with a zero budget.
+			pool := &batchPool{}
+			forced, err := sim.Run(sim.Config{
+				Pattern: f,
+				History: fd.NewSigmaS(f, s, 10),
+				Program: func(p dist.ProcID, _ int) sim.Automaton {
+					var script []KeyedOp
+					if int(p) <= len(scripts) {
+						script = scripts[p-1]
+					}
+					node := newStoreNode(p, n, s, cfg, m, script, pool)
+					node.initCoalesce()
+					return node
+				},
+				Scheduler: sim.NewRandomScheduler(seed),
+				MaxSteps:  int64(20_000 + 2_000*TotalKeyedOps(scripts)),
+				StopWhen: func(sn *sim.Snapshot) bool {
+					return StoreClientsDoneOn(sn, clients, avail)
+				},
+			})
+			if err != nil {
+				t.Fatalf("seed %d: forced run: %v", seed, err)
+			}
+			a, b := sendStream(plain), sendStream(forced)
+			if len(a) != len(b) {
+				t.Fatalf("piggyback=%v seed %d: stream lengths diverge: %d vs %d sends", cfg.Piggyback, seed, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("piggyback=%v seed %d: send %d diverges:\n  plain:  %s\n  forced: %s", cfg.Piggyback, seed, i, a[i], b[i])
+				}
+			}
+			if plain.Steps != forced.Steps {
+				t.Fatalf("piggyback=%v seed %d: step counts diverge: %d vs %d", cfg.Piggyback, seed, plain.Steps, forced.Steps)
+			}
+		}
+	}
+}
+
+// TestStoreOpenLoopArrivals pins the open-loop semantics: with a large
+// inter-arrival gap the run is paced by the arrival schedule (many more
+// steps than the closed-loop run of the same script), every op still
+// completes and verifies, and each client records exactly one latency
+// observation per completed op.
+func TestStoreOpenLoopArrivals(t *testing.T) {
+	const n, gap = 5, 20
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 8, OpsPerClient: 8, WriteRatio: -1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := StoreConfig{Keys: 8, Window: 2}
+	open := closed
+	open.OpenLoop = true
+	open.ArrivalGap = gap
+	for seed := int64(0); seed < 4; seed++ {
+		rc := runStore(t, f, s, closed, scripts, 10, seed)
+		ro := runStore(t, f, s, open, scripts, 10, seed)
+		for _, res := range []*sim.Result{rc, ro} {
+			if err := VerifyStoreRun(res, f.Correct()); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			var obs int64
+			for _, p := range s.Members() {
+				obs += res.Automata[p-1].(*StoreNode).LatencyHist().Count
+			}
+			if want := int64(TotalKeyedOps(scripts)); obs != want {
+				t.Fatalf("seed %d: %d latency observations, want %d (one per op)", seed, obs, want)
+			}
+		}
+		// Each client's last op arrives at step (ops-1)*gap, so the open-loop
+		// run cannot finish before the arrival schedule drains.
+		if ro.Steps < (8-1)*gap {
+			t.Fatalf("seed %d: open-loop run finished in %d steps, before the last arrival at %d", seed, ro.Steps, (8-1)*gap)
+		}
+		if ro.Steps <= rc.Steps {
+			t.Fatalf("seed %d: open-loop gap %d did not pace the run: %d steps open vs %d closed", seed, gap, ro.Steps, rc.Steps)
+		}
+	}
+}
+
+// TestStoreOpenLoopLatencyIncludesQueueing pins the latency origin: under
+// overload (arrivals faster than a window-1 client can serve) latency is
+// measured from arrival, so queueing delay accumulates and the mean is far
+// above the lightly-loaded mean of the same script.
+func TestStoreOpenLoopLatencyIncludesQueueing(t *testing.T) {
+	const n = 5
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 4, OpsPerClient: 12, WriteRatio: -1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(cfg StoreConfig, seed int64) float64 {
+		res := runStore(t, f, s, cfg, scripts, 10, seed)
+		if err := VerifyStoreRun(res, f.Correct()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var h = res.Automata[0].(*StoreNode).LatencyHist()
+		total := *h
+		total.Merge(res.Automata[1].(*StoreNode).LatencyHist())
+		return total.Mean()
+	}
+	light := StoreConfig{Keys: 4, Window: 1, OpenLoop: true, ArrivalGap: 25}
+	overload := StoreConfig{Keys: 4, Window: 1, OpenLoop: true, ArrivalGap: 1}
+	for seed := int64(0); seed < 3; seed++ {
+		lm, om := mean(light, seed), mean(overload, seed)
+		if om <= lm {
+			t.Fatalf("seed %d: overload mean latency %.1f not above light-load mean %.1f — queueing delay not measured", seed, om, lm)
+		}
+	}
+}
+
+// TestStoreCoalesceReducesMessages is the payoff: under open-loop load that
+// under-fills batches, a positive delay budget merges cross-step traffic
+// and sends strictly fewer messages than D=0, with every run still
+// verifying.
+func TestStoreCoalesceReducesMessages(t *testing.T) {
+	const n = 5
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 8, Shards: 2, OpsPerClient: 12, WriteRatio: -1, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := StoreConfig{
+		Keys: 8, Shards: 2, Window: 8, Piggyback: true,
+		OpenLoop: true, ArrivalGap: 4, ArrivalJitter: true, ArrivalSeed: 1,
+	}
+	merged := base
+	merged.CoalesceDelay = 4
+	var msgs0, msgsD int64
+	for seed := int64(0); seed < 4; seed++ {
+		r0 := runStore(t, f, s, base, scripts, 10, seed)
+		rD := runStore(t, f, s, merged, scripts, 10, seed)
+		for _, res := range []*sim.Result{r0, rD} {
+			if err := VerifyStoreRun(res, f.Correct()); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		msgs0 += r0.MessagesSent
+		msgsD += rD.MessagesSent
+	}
+	if msgsD >= msgs0 {
+		t.Fatalf("coalescing at D=4 sent %d msgs vs %d at D=0 — no cross-step merging", msgsD, msgs0)
+	}
+}
+
+// TestStoreCoalesceRetransmitFree pins the RTO slack: a parked request or
+// reply frame delays its own traffic by up to D steps at each end, and the
+// retransmission deadline absorbs exactly that budget — so a failure-free
+// coalescing run never retransmits.
+func TestStoreCoalesceRetransmitFree(t *testing.T) {
+	const n = 5
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 8, Shards: 2, OpsPerClient: 12, WriteRatio: -1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StoreConfig{
+		Keys: 8, Shards: 2, Window: 4, Piggyback: true,
+		Retransmit: true, RTO: 16, CoalesceDelay: 8,
+		OpenLoop: true, ArrivalGap: 3, ArrivalJitter: true,
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		res := runStore(t, f, s, cfg, scripts, 10, seed)
+		if err := VerifyStoreRun(res, f.Correct()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, p := range s.Members() {
+			if rt := res.Automata[p-1].(*StoreNode).Retransmits(); rt != 0 {
+				t.Fatalf("seed %d: p%d retransmitted %d times in a failure-free coalescing run", seed, int(p), rt)
+			}
+		}
+	}
+}
+
+// TestStoreCoalesceSweepWorkerIndependent is the full-composition acceptance
+// scenario: coalescing + piggybacking + open-loop arrivals + retransmission
+// + loss/duplication/partition faults on the sweep engine — all aggregates,
+// the per-op latency histogram included, bit-identical at workers 1, 2, 8.
+func TestStoreCoalesceSweepWorkerIndependent(t *testing.T) {
+	const n, shards = 6, 3
+	s := dist.NewProcSet(1, 2, 3)
+	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
+		N: n, S: s, Keys: 9, Shards: shards, OpsPerClient: 8, WriteRatio: -1, Skew: 1.4, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := dist.NewFailurePattern(n)
+	cfg := StoreSweepConfig{
+		Pattern: f, S: s,
+		Store: StoreConfig{
+			Keys: 9, Shards: shards, Window: 2, Piggyback: true,
+			AdaptiveWindow: true, MaxWindow: 6, StallSteps: 8,
+			Retransmit: true, RTO: 16,
+			CoalesceDelay: 2,
+			OpenLoop:      true, ArrivalGap: 3, ArrivalJitter: true, ArrivalSeed: 7,
+		},
+		Scripts: scripts,
+		Stab:    20,
+		Faults: &sim.FaultPlan{
+			Seed: 99, Loss: 0.05, Dup: 0.05, MaxDelay: 3,
+			Partitions: []dist.Partition{{A: dist.NewProcSet(1, 4), B: dist.NewProcSet(2, 5), From: 40, Until: 160}},
+		},
+		StallLimit: 5_000,
+		Seeds:      8,
+		Workers:    1,
+	}
+	base, err := StoreSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Runs != 8 || base.Failures != 0 {
+		t.Fatalf("coalescing sweep failed: %s (first seed %d: %v)", base, base.FirstFailSeed, base.FirstFailErr)
+	}
+	if base.Dropped.Sum == 0 || base.Duplicated.Sum == 0 {
+		t.Fatalf("fault plan injected nothing: drops %s, dups %s", base.Dropped.String(), base.Duplicated.String())
+	}
+	if want := int64(TotalKeyedOps(scripts)) * base.Runs; base.Lat.Count != want {
+		t.Fatalf("latency histogram has %d observations, want %d (one per op per run)", base.Lat.Count, want)
+	}
+	for _, w := range []int{2, 8} {
+		cfg.Workers = w
+		got, err := StoreSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Runs != base.Runs || got.Failures != base.Failures ||
+			got.FirstFailSeed != base.FirstFailSeed ||
+			got.Steps != base.Steps || got.Msgs != base.Msgs ||
+			got.Dropped != base.Dropped || got.Duplicated != base.Duplicated ||
+			got.Lat != base.Lat {
+			t.Fatalf("workers=%d diverged:\n  1: %+v\n  %d: %+v", w, base, w, got)
+		}
+	}
+}

@@ -98,6 +98,11 @@ func TestStoreAllocsPerStep(t *testing.T) {
 		{"piggyback+adaptive", StoreConfig{Keys: 12, Window: 8, Piggyback: true, AdaptiveWindow: true}, nil},
 		{"sharded", StoreConfig{Keys: 12, Shards: 4, Window: 8}, nil},
 		{"retransmit+faults", StoreConfig{Keys: 12, Shards: 4, Window: 8, Retransmit: true, RTO: 16}, faults},
+		{"coalesce", StoreConfig{
+			Keys: 12, Shards: 4, Window: 8, Piggyback: true,
+			CoalesceDelay: 2, OpenLoop: true, ArrivalGap: 3, ArrivalJitter: true,
+			Retransmit: true, RTO: 16,
+		}, faults},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			short := storeAllocRunner(t, tc.cfg, 6, tc.fp)

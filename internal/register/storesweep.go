@@ -139,6 +139,16 @@ func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
 		Check: func(seed int64, res *sim.Result) error {
 			return VerifyStoreRunReach(res, correct, masks)
 		},
+		// Per-op latency: every client node's histogram merges exactly into
+		// the sweep aggregate, so p50/p99/p99.9 are bit-identical for every
+		// worker count like the rest of the verdicts.
+		Latency: func(res *sim.Result, lat *sweep.Hist) {
+			for _, a := range res.Automata {
+				if node, ok := a.(*StoreNode); ok {
+					lat.Merge(node.LatencyHist())
+				}
+			}
+		},
 	})
 }
 

@@ -45,6 +45,14 @@ type Config struct {
 	// for concurrent use (pure functions of their arguments are; closures
 	// mutating shared state are not).
 	Check func(seed int64, res *sim.Result) error
+	// Latency, when non-nil, folds a passing run's per-operation latency
+	// observations into lat (which aggregates into Result.Lat). Unlike the
+	// built-in histograms — one observation per run — Lat holds one
+	// observation per operation, extracted from the run's automata. Called
+	// once per passing run, concurrently from every worker goroutine, each
+	// on its own lat shard; it must only read res and write lat. Hist.Merge
+	// is exact, so the aggregate stays bit-identical across worker counts.
+	Latency func(res *sim.Result, lat *Hist)
 }
 
 // Hist is a power-of-two histogram of a per-run counter.
@@ -103,7 +111,60 @@ func (h *Hist) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
-// String renders min/mean/max and the non-empty power-of-two buckets.
+// Quantile estimates the q-quantile of the observed values by linear
+// interpolation inside the power-of-two bucket holding the rank: the
+// fractional rank q·(Count−1) is located in the cumulative bucket counts and
+// mapped linearly across that bucket's value range, tightened to [Min, Max]
+// (so a single observation returns it exactly for every q, and the top
+// bucket — which clamps everything ≥ 2^22 — never extrapolates past Max).
+// q outside [0, 1] is clamped; an empty histogram returns 0.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count-1)
+	cum := float64(0)
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if rank >= cum+fc {
+			cum += fc
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = int64(1) << (i - 1)
+		}
+		hi := int64(1) << i
+		if i == len(h.Buckets)-1 || hi > h.Max {
+			hi = h.Max + 1 // clamped top bucket, or the max sits mid-bucket
+		}
+		if lo < h.Min {
+			lo = h.Min
+		}
+		v := lo + int64((rank-cum)/fc*float64(hi-lo))
+		if v < h.Min {
+			v = h.Min
+		}
+		if v > h.Max {
+			v = h.Max
+		}
+		return v
+	}
+	return h.Max
+}
+
+// String renders min/mean/max and the non-empty power-of-two buckets. The
+// final bucket is a clamp — it holds every value ≥ its lower bound — so it
+// renders as [lo,inf) rather than a misleading power-of-two range.
 func (h *Hist) String() string {
 	if h.Count == 0 {
 		return "empty"
@@ -118,7 +179,11 @@ func (h *Hist) String() string {
 		if i > 0 {
 			lo = int64(1) << (i - 1)
 		}
-		fmt.Fprintf(&b, " [%d,%d):%d", lo, int64(1)<<i, c)
+		if i == len(h.Buckets)-1 {
+			fmt.Fprintf(&b, " [%d,inf):%d", lo, c)
+		} else {
+			fmt.Fprintf(&b, " [%d,%d):%d", lo, int64(1)<<i, c)
+		}
 	}
 	return b.String()
 }
@@ -143,6 +208,10 @@ type Result struct {
 	// passing run (all-zero without a sim.FaultPlan).
 	Dropped    Hist
 	Duplicated Hist
+	// Lat aggregates per-operation latency observations across passing runs
+	// (empty unless Config.Latency is set): one observation per completed
+	// operation, so Lat.Quantile reads off p50/p99/p99.9 tails directly.
+	Lat Hist
 }
 
 // DecidedRate is the fraction of all runs in which every correct process
@@ -164,6 +233,10 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "\n  steps: %s\n  msgs:  %s", r.Steps.String(), r.Msgs.String())
 	if r.Dropped.Sum > 0 || r.Duplicated.Sum > 0 {
 		fmt.Fprintf(&b, "\n  drops: %s\n  dups:  %s", r.Dropped.String(), r.Duplicated.String())
+	}
+	if r.Lat.Count > 0 {
+		fmt.Fprintf(&b, "\n  lat:   p50=%d p99=%d p99.9=%d | %s",
+			r.Lat.Quantile(0.50), r.Lat.Quantile(0.99), r.Lat.Quantile(0.999), r.Lat.String())
 	}
 	return b.String()
 }
@@ -206,6 +279,7 @@ func (r *Result) merge(o *Result) {
 	r.Msgs.Merge(&o.Msgs)
 	r.Dropped.Merge(&o.Dropped)
 	r.Duplicated.Merge(&o.Duplicated)
+	r.Lat.Merge(&o.Lat)
 }
 
 // Run executes the sweep and returns the aggregate. The seed range is
@@ -271,6 +345,9 @@ func Run(cfg Config) (*Result, error) {
 					err = cfg.Check(seed, res)
 				}
 				j.res.observe(seed, res, j.correct, err)
+				if err == nil && cfg.Latency != nil {
+					cfg.Latency(res, &j.res.Lat)
+				}
 			}
 		}(j)
 	}

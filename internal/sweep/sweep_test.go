@@ -185,3 +185,86 @@ func TestHistObserve(t *testing.T) {
 		}
 	}
 }
+
+func TestHistQuantile(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	var empty Hist
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Fatalf("empty.Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+
+	// All observations zero: the all-zeros bucket interpolates to 0.
+	var zeros Hist
+	for i := 0; i < 5; i++ {
+		zeros.Observe(0)
+	}
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if v := zeros.Quantile(q); v != 0 {
+			t.Fatalf("zeros.Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+
+	// Single observation: quantile == Min == Max for every q, including
+	// q outside [0,1] (clamped, not rejected).
+	var one Hist
+	one.Observe(37)
+	for _, q := range []float64{-0.5, 0, 0.25, 0.99, 1, 7} {
+		if v := one.Quantile(q); v != 37 {
+			t.Fatalf("one.Quantile(%v) = %d, want 37", q, v)
+		}
+	}
+
+	// Top-bucket clamp: values at and beyond the last bucket's lower bound
+	// all land in it, but quantiles must stay inside [Min, Max] instead of
+	// extrapolating across the clamped 2^23..2^63 range.
+	var top Hist
+	top.Observe(1 << 23)
+	top.Observe(1 << 40)
+	if v := top.Quantile(0); v != 1<<23 {
+		t.Fatalf("top.Quantile(0) = %d, want %d", v, int64(1)<<23)
+	}
+	if v := top.Quantile(1); v != 1<<40 {
+		t.Fatalf("top.Quantile(1) = %d, want %d", v, int64(1)<<40)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9} {
+		if v := top.Quantile(q); v < 1<<23 || v > 1<<40 {
+			t.Fatalf("top.Quantile(%v) = %d escapes [Min, Max]", q, v)
+		}
+	}
+
+	// Uniform 1..100: interpolation lands the median on the nose, extremes
+	// hit Min and Max exactly, and quantiles are monotone in q.
+	var u Hist
+	for v := int64(1); v <= 100; v++ {
+		u.Observe(v)
+	}
+	if v := u.Quantile(0.5); v != 50 {
+		t.Fatalf("uniform p50 = %d, want 50", v)
+	}
+	if lo, hi := u.Quantile(0), u.Quantile(1); lo != 1 || hi != 100 {
+		t.Fatalf("uniform extremes = (%d, %d), want (1, 100)", lo, hi)
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := u.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%v) = %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistStringTopBucket(t *testing.T) {
+	var h Hist
+	h.Observe(3)
+	h.Observe(1 << 40) // clamps into the final bucket (lower bound 2^22)
+	s := h.String()
+	if !strings.Contains(s, "[4194304,inf):1") {
+		t.Fatalf("final bucket must render as [lo,inf): %q", s)
+	}
+	if !strings.Contains(s, "[2,4):1") {
+		t.Fatalf("non-final buckets must keep their [lo,hi) ranges: %q", s)
+	}
+}

@@ -6,11 +6,15 @@
 #   scripts/bench.sh Fig2            # only benchmarks matching the pattern
 #   COUNT=3 scripts/bench.sh         # fewer repetitions
 #   BENCHTIME=1x scripts/bench.sh    # one iteration per benchmark (CI smoke)
-#   JSON_OUT=BENCH_PR6.json scripts/bench.sh Store
+#   JSON_OUT=BENCH_PR7.json scripts/bench.sh Store
 #                                    # additionally write every benchmark row
 #                                    # as machine-readable JSON (name,
 #                                    # iterations, ns_per_op, msgs_per_op,
-#                                    # ops_per_sec, allocs_per_op, ...) so the
+#                                    # ops_per_sec, allocs_per_op, and — on
+#                                    # store rows — the per-op latency tail
+#                                    # lat_p50_steps/lat_p99_steps/
+#                                    # lat_p999_steps, in schedule-
+#                                    # deterministic client steps) so the
 #                                    # perf trajectory is trackable across PRs
 #                                    # (compare snapshots with bench_diff.sh)
 #

@@ -1,16 +1,23 @@
 #!/usr/bin/env sh
-# Compare two bench.sh JSON files and fail on throughput regressions.
+# Compare two bench.sh JSON files and fail on throughput or tail-latency
+# regressions.
 #
 # Usage:
 #   scripts/bench_diff.sh OLD.json NEW.json [threshold-pct]
 #
 # For every benchmark row present in both files, the ops_per_sec values are
 # compared; a drop of more than threshold-pct (default 20) fails the script.
+# Rows carrying lat_p99_steps in both files are additionally gated on the
+# p99 latency (a rise of more than threshold-pct fails): latencies are in
+# schedule-deterministic client steps, so at a fixed -benchtime they are
+# exactly reproducible and a tighter signal than wall clock.
 # Fault-injection and crash rows (names matching crashshard/faults/partition)
 # are reported but never gate: their throughput intentionally pays for
 # retransmission, duplicate absorption and parked-op degradation, and the
 # price may move as the fault model grows. The failure-free rows are the
 # contract — "pay only on fault" means they must not regress.
+# A row present in the old snapshot but missing from the new one always
+# fails: a silently dropped benchmark is a coverage regression, not noise.
 #
 # Both files should come from the same machine (e.g. the two committed
 # BENCH_PR*.json snapshots, measured back to back): comparing numbers from
@@ -37,7 +44,12 @@ awk -v threshold="$THRESHOLD" '
     name = field($0, "name")
     ops = field($0, "ops_per_sec")
     if (name == "" || ops == "") next
-    if (NR == FNR) { old[name] = ops; next }
+    if (NR == FNR) {
+      old[name] = ops
+      oldp99[name] = field($0, "lat_p99_steps")
+      next
+    }
+    seen[name] = 1
     if (!(name in old)) { printf "NEW   %-45s %12.0f ops/sec\n", name, ops; next }
     delta = 100 * (ops - old[name]) / old[name]
     gate = (name ~ /crashshard|faults|partition/) ? "info" : "gate"
@@ -46,9 +58,24 @@ awk -v threshold="$THRESHOLD" '
       printf "FAIL  %s regressed %.1f%% (threshold %s%%)\n", name, -delta, threshold
       failed = 1
     }
+    p99 = field($0, "lat_p99_steps")
+    if (p99 != "" && oldp99[name] != "" && oldp99[name] + 0 > 0) {
+      d99 = 100 * (p99 - oldp99[name]) / oldp99[name]
+      printf "%-5s %-45s %12.0f -> %12.0f p99 steps (%+.1f%%)\n", gate, name, oldp99[name], p99, d99
+      if (gate == "gate" && d99 > threshold) {
+        printf "FAIL  %s p99 latency regressed %.1f%% (threshold %s%%)\n", name, d99, threshold
+        failed = 1
+      }
+    }
   }
   END {
+    for (name in old) {
+      if (!(name in seen)) {
+        printf "FAIL  %s present in old snapshot but missing from new one\n", name
+        failed = 1
+      }
+    }
     if (failed) exit 1
-    print "bench diff ok: no failure-free row regressed more than " threshold "%"
+    print "bench diff ok: no failure-free row regressed more than " threshold "% (ops/sec or p99)"
   }
 ' "$OLD" "$NEW"
