@@ -517,6 +517,16 @@ func BenchmarkStore(b *testing.B) {
 			}, 4)
 		})
 	}
+	// E29/E30: the multi-word scale points — systems past the old 64-process
+	// ceiling, 8-replica shard groups, the E24-style network (loss + dup +
+	// delay + a healing partition between two groups) with retransmission
+	// and adaptive windows armed. One client per shard group.
+	b.Run("scale-n=128-shards=16", func(b *testing.B) {
+		runStoreScaleFaults(b, 128, 16, 16, 4)
+	})
+	b.Run("scale-n=256-shards=32", func(b *testing.B) {
+		runStoreScaleFaults(b, 256, 32, 32, 3)
+	})
 	// E24: lossy, duplicating, delaying network with retransmission armed.
 	b.Run("faults-loss", func(b *testing.B) {
 		runStoreFaults(b,
@@ -677,6 +687,90 @@ func runStoreFaults(b *testing.B, cfg register.StoreConfig, withPartition bool) 
 	b.ReportMetric(float64(retransmits)/float64(completed), "retransmits/op")
 	b.ReportMetric(float64(drops)/float64(completed), "drops/op")
 	b.ReportMetric(float64(dups)/float64(completed), "dups/op")
+	reportRun(b, steps, msgs)
+	reportLatency(b, &lat)
+}
+
+// runStoreScaleFaults is the E29/E30 harness: an n-process store with
+// n/shards-replica groups and one client per group, under 3% loss, 3%
+// duplication, up to 3 ticks of extra delay and a partition cutting group 0
+// off group 1 during [60, 300) before healing. Retransmission and the
+// adaptive window controller are armed, so every scripted op completes —
+// including the parked cross-partition ones — and the fault price is
+// reported as retransmits/op, drops/op and dups/op.
+func runStoreScaleFaults(b *testing.B, n, shards, clients, opsPerClient int) {
+	const keys = 64
+	f := dist.NewFailurePattern(n)
+	s := dist.RangeSet(1, dist.ProcID(clients))
+	cfg := register.StoreConfig{
+		Keys: keys, Shards: shards, Window: 2,
+		AdaptiveWindow: true, MaxWindow: 6, StallSteps: 8,
+		Retransmit: true, RTO: 24, MaxRTO: 96,
+	}
+	m, err := cfg.ShardMap(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp := &sim.FaultPlan{
+		Seed: 7, Loss: 0.03, Dup: 0.03, MaxDelay: 3,
+		Partitions: []dist.Partition{
+			{A: m.Group(0), B: m.Group(1), From: 60, Until: 300},
+		},
+	}
+	scripts, err := register.GenerateStoreWorkload(register.StoreWorkloadConfig{
+		N: n, S: s, Keys: keys, Shards: shards, OpsPerClient: opsPerClient,
+		WriteRatio: -1, Skew: 1.2, Seed: 808,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := register.TotalKeyedOps(scripts)
+	prog, err := register.StoreProgram(n, s, cfg, scripts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := newRunner(b, sim.Config{
+		Pattern: f, History: fd.NewSigmaS(f, s, 20), Program: prog,
+		Scheduler: sim.NewRandomScheduler(0), MaxSteps: 2_000_000, DisableTrace: true,
+		Faults: fp,
+		StopWhen: func(sn *sim.Snapshot) bool {
+			return register.StoreClientsDone(sn, s)
+		},
+	})
+	var steps, msgs, completed, retransmits, drops, dups, replicaBytes int64
+	var lat sweep.Hist
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Reset(int64(i)).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := 0
+		replicaBytes = 0
+		for _, a := range res.Automata {
+			if node, ok := a.(*register.StoreNode); ok {
+				done += node.CompletedOps()
+				retransmits += node.Retransmits()
+				replicaBytes += int64(node.ReplicaStateBytes())
+			}
+		}
+		if done != total {
+			b.Fatalf("seed %d completed %d/%d ops at n=%d (%s)", i, done, total, n, res.Reason)
+		}
+		completed += int64(done)
+		steps += res.Steps
+		msgs += res.MessagesSent
+		drops += res.MessagesDropped
+		dups += res.MessagesDuplicated
+		mergeStoreLatency(res, &lat)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
+	b.ReportMetric(float64(retransmits)/float64(completed), "retransmits/op")
+	b.ReportMetric(float64(drops)/float64(completed), "drops/op")
+	b.ReportMetric(float64(dups)/float64(completed), "dups/op")
+	b.ReportMetric(float64(replicaBytes)/float64(n), "replica-B/node")
 	reportRun(b, steps, msgs)
 	reportLatency(b, &lat)
 }

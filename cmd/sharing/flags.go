@@ -205,7 +205,7 @@ func openLoopGap(openLoop bool, rate float64) (int, error) {
 // S = {p1..pClients}.
 func clientSet(n, clients int) (dist.ProcSet, error) {
 	if clients < 1 || clients > n {
-		return 0, fmt.Errorf("-clients %d outside 1..%d", clients, n)
+		return dist.ProcSet{}, fmt.Errorf("-clients %d outside 1..%d", clients, n)
 	}
 	return dist.RangeSet(1, dist.ProcID(clients)), nil
 }
@@ -214,10 +214,10 @@ func clientSet(n, clients int) (dist.ProcSet, error) {
 // active set {p1..p2k} that the σ₂ₖ constructions use.
 func activeSet(n, k int) (dist.ProcSet, error) {
 	if k < 1 {
-		return 0, fmt.Errorf("-k %d must be at least 1", k)
+		return dist.ProcSet{}, fmt.Errorf("-k %d must be at least 1", k)
 	}
 	if 2*k > n {
-		return 0, fmt.Errorf("need 2k ≤ n, got k=%d n=%d", k, n)
+		return dist.ProcSet{}, fmt.Errorf("need 2k ≤ n, got k=%d n=%d", k, n)
 	}
 	return dist.RangeSet(1, dist.ProcID(2*k)), nil
 }

@@ -295,3 +295,69 @@ func TestOpenLoopGap(t *testing.T) {
 		}
 	}
 }
+
+// TestRaisedCeilings pins the widened bounds: system sizes and shard counts
+// past the old single-word limit of 64 are accepted up to the new
+// multi-word ceiling of 256, and out-of-range values are rejected with
+// errors naming the new limits.
+func TestRaisedCeilings(t *testing.T) {
+	// -n past 64 is now valid; past MaxProcs is rejected naming 256.
+	for _, n := range []int{65, 128, 200, dist.MaxProcs} {
+		f, err := newPattern(n)
+		if err != nil || f.N() != n {
+			t.Fatalf("newPattern(%d) = %v, %v", n, f, err)
+		}
+	}
+	_, err := newPattern(dist.MaxProcs + 1)
+	if err == nil || !strings.Contains(err.Error(), "1..256") {
+		t.Fatalf("n=%d: got %v, want rejection naming 1..256", dist.MaxProcs+1, err)
+	}
+
+	// -crash reaches processes past 64 and still validates against n.
+	f, err := crashPattern(128, "100@40,128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CrashTime(100) != 40 || f.CrashTime(128) != 0 {
+		t.Fatalf("high-ID crash times %d/%d", int64(f.CrashTime(100)), int64(f.CrashTime(128)))
+	}
+	if _, err := crashPattern(128, "129"); err == nil {
+		t.Fatal("-crash past n must still be rejected")
+	}
+
+	// Shard counts past 64 are accepted up to MaxShards; past it, the error
+	// names 1..256.
+	m, err := register.NewShardMap(128, 256, 128)
+	if err != nil || m.Shards() != 128 {
+		t.Fatalf("128-shard map: %v, %v", m, err)
+	}
+	if got := m.Available(dist.FullSet(128)); got.Len() != 128 {
+		t.Fatalf("all-correct availability has %d shards, want 128", got.Len())
+	}
+	_, err = register.NewShardMap(256, 300, register.MaxShards+1)
+	if err == nil || !strings.Contains(err.Error(), "1..256") {
+		t.Fatalf("shards=%d: got %v, want rejection naming 1..256", register.MaxShards+1, err)
+	}
+
+	// -crashshard and -partition validate against the (possibly >64) shard
+	// count and still name the index range.
+	if err := parseShardCrash(dist.NewFailurePattern(128), m, "100@10"); err != nil {
+		t.Fatalf("high shard index rejected: %v", err)
+	}
+	if err := parseShardCrash(dist.NewFailurePattern(128), m, "128"); err == nil ||
+		!strings.Contains(err.Error(), "outside 0..127") {
+		t.Fatalf("shard 128 of 128: got %v, want rejection naming 0..127", err)
+	}
+	if _, err := parsePartition(m, "100:127@0-50"); err != nil {
+		t.Fatalf("high-shard partition rejected: %v", err)
+	}
+	if _, err := parsePartition(m, "0:128@0-50"); err == nil ||
+		!strings.Contains(err.Error(), "outside 0..127") {
+		t.Fatalf("partition shard 128: got %v, want rejection naming 0..127", err)
+	}
+
+	// -clients past 64 follows n.
+	if s, err := clientSet(200, 150); err != nil || s.Len() != 150 || s.Max() != 150 {
+		t.Fatalf("clientSet(200,150) = %v, %v", s, err)
+	}
+}

@@ -541,10 +541,10 @@ func cmdStore(args []string) error {
 	for _, p := range s.Intersect(f.Correct()).Members() {
 		reach := avail
 		if masks != nil {
-			reach &= masks[p]
+			reach = reach.Intersect(masks[p])
 		}
 		for _, op := range scripts[p-1] {
-			if reach&(1<<uint(shardMap.Shard(op.Key))) != 0 {
+			if reach.Has(shardMap.Shard(op.Key)) {
 				opsPerRun++
 			}
 		}
@@ -569,7 +569,7 @@ func cmdStore(args []string) error {
 	if shardMap.Shards() > 1 || *crashShard != "" {
 		fmt.Printf("  layout: %s\n", shardMap)
 		for sh := 0; sh < shardMap.Shards(); sh++ {
-			if avail&(1<<uint(sh)) == 0 {
+			if !avail.Has(sh) {
 				fmt.Printf("  shard %d unavailable: group %v fully crashed (its ops cannot complete; other shards must)\n",
 					sh, shardMap.Group(sh))
 			}
@@ -577,7 +577,7 @@ func cmdStore(args []string) error {
 	}
 	if masks != nil {
 		for _, p := range s.Intersect(f.Correct()).Members() {
-			if cut := avail &^ masks[p]; cut != 0 {
+			if cut := avail.Minus(masks[p]); !cut.IsEmpty() {
 				fmt.Printf("  client p%d partitioned from shard(s) %s past the horizon: those ops park, the rest must complete\n",
 					int(p), shardBits(cut, shardMap.Shards()))
 			}
@@ -606,12 +606,12 @@ func cmdStore(args []string) error {
 	return nil
 }
 
-// shardBits renders an availability bitmask as a shard-index list for
+// shardBits renders an availability set as a shard-index list for
 // human-facing degradation messages.
-func shardBits(mask uint64, shards int) string {
+func shardBits(mask register.ShardSet, shards int) string {
 	var b strings.Builder
 	for sh := 0; sh < shards; sh++ {
-		if mask&(1<<uint(sh)) != 0 {
+		if mask.Has(sh) {
 			if b.Len() > 0 {
 				b.WriteByte(',')
 			}
@@ -796,7 +796,7 @@ func reportEmulation(name string, vs []fd.Violation) error {
 }
 
 func printDecisions(dec map[dist.ProcID]agreement.Value) {
-	for p := dist.ProcID(1); p < dist.MaxProcs; p++ {
+	for p := dist.ProcID(1); p <= dist.MaxProcs; p++ {
 		if v, ok := dec[p]; ok {
 			fmt.Printf("  p%d decided %d\n", int(p), int64(v))
 		}

@@ -141,7 +141,7 @@ func (a *Node) Step(e *sim.Env) {
 				v = a.bestV // adopt the value of the highest accepted ballot
 			}
 			a.phase = 2
-			a.accepts = 0
+			a.accepts = dist.ProcSet{}
 			a.bestV = v
 			a.selfAccept(a.ballot, v)
 			e.Broadcast(acceptMsg{B: a.ballot, Val: v})
@@ -206,7 +206,7 @@ func (a *Node) newBallot(e *sim.Env) {
 	}
 	a.ballot = next
 	a.phase = 1
-	a.promises = 0
+	a.promises = dist.ProcSet{}
 	a.bestB, a.bestV = 0, 0
 	a.stall = 0
 	a.selfPromise(next)

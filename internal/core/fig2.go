@@ -199,7 +199,7 @@ func (a *Fig2) AppendState(b []byte) []byte {
 	if a.got2 {
 		flags |= 4
 	}
-	b = append(b, byte(a.self), byte(a.phase), flags)
+	b = append(b, byte(a.self), byte(a.self>>8), byte(a.phase), flags)
 	b = sim.AppendUint64(b, uint64(a.v))
 	b = sim.AppendUint64(b, uint64(a.me))
 	b = sim.AppendUint64(b, uint64(a.you))

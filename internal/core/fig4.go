@@ -226,13 +226,13 @@ func (a *Fig4) AppendState(b []byte) []byte {
 	if a.gotD {
 		flags |= 1
 	}
-	b = append(b, byte(a.self), byte(a.phase), flags)
+	b = append(b, byte(a.self), byte(a.self>>8), byte(a.phase), flags)
 	b = sim.AppendUint64(b, uint64(a.v))
 	b = sim.AppendUint64(b, uint64(a.dVal))
-	b = sim.AppendUint64(b, uint64(a.forwarded))
-	b = sim.AppendUint64(b, uint64(a.active))
-	b = sim.AppendUint64(b, uint64(a.low))
-	b = sim.AppendUint64(b, uint64(a.high))
+	b = a.forwarded.AppendWords(b)
+	b = a.active.AppendWords(b)
+	b = a.low.AppendWords(b)
+	b = a.high.AppendWords(b)
 	for _, v := range a.t {
 		b = sim.AppendUint64(b, uint64(v))
 	}

@@ -29,7 +29,7 @@ type SigmaKOut struct {
 // first (the paper compares against ⊥ explicitly).
 func (o SigmaKOut) ActivePart() dist.ProcSet {
 	if o.Bottom || o.Empty {
-		return 0
+		return dist.ProcSet{}
 	}
 	return o.Active
 }
@@ -37,7 +37,7 @@ func (o SigmaKOut) ActivePart() dist.ProcSet {
 // TrustPart is the `queryFD().trust` accessor of Figure 4.
 func (o SigmaKOut) TrustPart() dist.ProcSet {
 	if o.Bottom || o.Empty {
-		return 0
+		return dist.ProcSet{}
 	}
 	return o.Trusted
 }
@@ -132,7 +132,7 @@ func NewSigmaKOracle(f *dist.FailurePattern, a dist.ProcSet, stab dist.Time, mod
 		trust = correct.Intersect(a)
 	}
 	o.bottomOut = SigmaKOut{Bottom: true}
-	o.idleOut = SigmaKOut{Trusted: 0, Active: a}
+	o.idleOut = SigmaKOut{Active: a}
 	if trust.IsEmpty() {
 		o.stabOut = o.idleOut
 	} else {

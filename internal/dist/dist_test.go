@@ -12,7 +12,7 @@ func TestProcSetAddRemoveContainsRoundTrip(t *testing.T) {
 		ref := make(map[ProcID]bool)
 		var s ProcSet
 		for _, b := range raw {
-			p := ProcID(b%MaxProcs + 1)
+			p := ProcID(int(b)%MaxProcs + 1)
 			if b&0x80 != 0 {
 				s = s.Remove(p)
 				delete(ref, p)
@@ -40,7 +40,7 @@ func TestProcSetMembersOrderingAndAccessors(t *testing.T) {
 	prop := func(raw []uint8) bool {
 		var ps []ProcID
 		for _, b := range raw {
-			ps = append(ps, ProcID(b%MaxProcs+1))
+			ps = append(ps, ProcID(int(b)%MaxProcs+1))
 		}
 		s := NewProcSet(ps...)
 		ms := s.Members()
@@ -73,8 +73,7 @@ func TestProcSetMembersOrderingAndAccessors(t *testing.T) {
 }
 
 func TestProcSetAlgebra(t *testing.T) {
-	prop := func(a, b uint64) bool {
-		x, y := ProcSet(a), ProcSet(b)
+	prop := func(x, y ProcSet) bool {
 		if x.Union(y).Len() != x.Len()+y.Len()-x.Intersect(y).Len() {
 			return false
 		}
@@ -117,7 +116,7 @@ func TestProcSetString(t *testing.T) {
 	if got := NewProcSet(1, 3).String(); got != "{p1,p3}" {
 		t.Fatalf("String() = %q", got)
 	}
-	if got := (ProcSet(0)).String(); got != "{}" {
+	if got := (ProcSet{}).String(); got != "{}" {
 		t.Fatalf("empty String() = %q", got)
 	}
 }
@@ -246,7 +245,7 @@ func BenchmarkAliveAt(b *testing.B) {
 	var acc ProcSet
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		acc |= f.AliveAt(Time(i % 128))
+		acc = acc.Union(f.AliveAt(Time(i % 128)))
 	}
 	_ = acc
 }

@@ -6,10 +6,12 @@
 // on every hot path of the simulator, so its representations are chosen for
 // speed first:
 //
-//   - ProcSet is a uint64 bitmask (MaxProcs = 64). Membership, union,
-//     intersection and subset tests are single machine instructions;
-//     cardinality is a popcount. ProcSet is a comparable value type, so it
-//     can key maps and be compared with ==.
+//   - ProcSet is a fixed-width multi-word bitmask ([MaxProcs/64]uint64,
+//     MaxProcs = 256). Membership, union, intersection and subset tests are
+//     a handful of word operations with no branches on set size;
+//     cardinality is a popcount per word. ProcSet is a comparable value
+//     type, so it can key maps and be compared with ==, and every method is
+//     pure and allocation-free (except Members and String).
 //   - FailurePattern pre-sorts its crash events and caches the alive-set
 //     prefix per distinct crash time, so the runner's per-step AliveAt and
 //     Correct calls are allocation-free lookups.

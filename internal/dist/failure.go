@@ -18,6 +18,7 @@ import (
 // interleaved concurrently.
 type FailurePattern struct {
 	n      int
+	all    ProcSet            // FullSet(n), cached: All() sits on per-step paths
 	crash  [MaxProcs + 1]Time // indexed by ProcID; NoCrash if correct
 	faulty ProcSet
 
@@ -37,7 +38,7 @@ func NewFailurePattern(n int) *FailurePattern {
 	if n < 1 || n > MaxProcs {
 		panic(fmt.Sprintf("dist: system size %d outside 1..%d", n, MaxProcs))
 	}
-	f := &FailurePattern{n: n}
+	f := &FailurePattern{n: n, all: FullSet(n)}
 	for p := 1; p <= n; p++ {
 		f.crash[p] = NoCrash
 	}
@@ -59,7 +60,7 @@ func CrashPattern(n int, crashed ...ProcID) *FailurePattern {
 func (f *FailurePattern) N() int { return f.n }
 
 // All returns Π, the set of all n processes.
-func (f *FailurePattern) All() ProcSet { return FullSet(f.n) }
+func (f *FailurePattern) All() ProcSet { return f.all }
 
 // CrashAt records that p crashes at time t (the process takes no step at or
 // after t). Negative times are clamped to 0; calling it again for the same

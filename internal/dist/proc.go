@@ -2,14 +2,17 @@ package dist
 
 import "math"
 
-// MaxProcs bounds the system size n. Process identifiers are 1-based, so a
-// ProcSet fits in one uint64 word.
-const MaxProcs = 64
+// MaxProcs bounds the system size n. Process identifiers are 1-based and a
+// ProcSet packs them into procWords 64-bit words (see procset.go), so the
+// ceiling is a multiple of 64; raising it is a one-constant change that
+// widens every set in the system.
+const MaxProcs = 256
 
 // ProcID identifies a process. Valid identifiers are 1..MaxProcs; None (the
 // zero value) means "no process" and is used by schedulers for idle ticks
-// and by Min/Max on empty sets.
-type ProcID uint8
+// and by Min/Max on empty sets. uint16 because MaxProcs itself (= 256) must
+// be representable.
+type ProcID uint16
 
 // None is the zero ProcID: no process.
 const None ProcID = 0

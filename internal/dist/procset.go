@@ -1,16 +1,23 @@
 package dist
 
 import (
+	"encoding/binary"
 	"math/bits"
 	"strconv"
 	"strings"
 )
 
-// ProcSet is a set of processes represented as a bitmask: bit p-1 is set iff
-// process p is a member. The zero value is the empty set. ProcSet is a
-// comparable value type (== is set equality, and it can key maps); all
-// methods are pure and allocation-free except Members and String.
-type ProcSet uint64
+// procWords is the number of 64-bit words a ProcSet packs MaxProcs bits
+// into. Word w holds processes 64w+1 .. 64w+64: bit p-1 of the flat bit
+// string is set iff process p is a member.
+const procWords = MaxProcs / 64
+
+// ProcSet is a set of processes represented as a fixed-width multi-word
+// bitmask: bit p-1 (word (p-1)/64, bit (p-1)%64) is set iff process p is a
+// member. The zero value is the empty set. ProcSet is a comparable value
+// type (== is set equality, and it can key maps); all methods are pure and
+// allocation-free except Members and String.
+type ProcSet [procWords]uint64
 
 // NewProcSet returns the set containing exactly the given processes.
 // Identifiers outside 1..MaxProcs are ignored.
@@ -30,81 +37,142 @@ func RangeSet(lo, hi ProcID) ProcSet {
 	if hi > MaxProcs {
 		hi = MaxProcs
 	}
+	var s ProcSet
 	if lo > hi {
-		return 0
+		return s
 	}
-	n := uint(hi - lo + 1)
-	var run uint64
-	if n >= 64 {
-		run = ^uint64(0)
-	} else {
-		run = (uint64(1) << n) - 1
+	// Fill whole words between the first and last touched word, then trim
+	// the partial edges with sub-word runs.
+	loBit, hiBit := uint(lo-1), uint(hi-1)
+	for w := loBit / 64; w <= hiBit/64; w++ {
+		word := ^uint64(0)
+		if w == loBit/64 {
+			word &= ^uint64(0) << (loBit % 64)
+		}
+		if w == hiBit/64 && hiBit%64 != 63 {
+			word &= (uint64(1) << (hiBit%64 + 1)) - 1
+		}
+		s[w] = word
 	}
-	return ProcSet(run << uint(lo-1))
+	return s
 }
 
 // FullSet returns Π = {1, ..., n}.
 func FullSet(n int) ProcSet {
-	if n <= 0 {
-		return 0
+	if n < 1 {
+		return ProcSet{}
 	}
-	if n >= MaxProcs {
-		return ProcSet(^uint64(0))
+	if n > MaxProcs {
+		n = MaxProcs
 	}
-	return ProcSet((uint64(1) << uint(n)) - 1)
+	return RangeSet(1, ProcID(n))
 }
 
-func bit(p ProcID) ProcSet {
+// wordBit resolves a process to its word index and in-word mask; ok is
+// false outside 1..MaxProcs.
+func wordBit(p ProcID) (w int, mask uint64, ok bool) {
 	if p < 1 || p > MaxProcs {
-		return 0
+		return 0, 0, false
 	}
-	return ProcSet(uint64(1) << uint(p-1))
+	return int(p-1) / 64, uint64(1) << (uint(p-1) % 64), true
 }
 
 // Contains reports whether p ∈ s.
-func (s ProcSet) Contains(p ProcID) bool { return s&bit(p) != 0 }
+func (s ProcSet) Contains(p ProcID) bool {
+	w, mask, ok := wordBit(p)
+	return ok && s[w]&mask != 0
+}
 
 // Add returns s ∪ {p}.
-func (s ProcSet) Add(p ProcID) ProcSet { return s | bit(p) }
+func (s ProcSet) Add(p ProcID) ProcSet {
+	if w, mask, ok := wordBit(p); ok {
+		s[w] |= mask
+	}
+	return s
+}
 
 // Remove returns s \ {p}.
-func (s ProcSet) Remove(p ProcID) ProcSet { return s &^ bit(p) }
+func (s ProcSet) Remove(p ProcID) ProcSet {
+	if w, mask, ok := wordBit(p); ok {
+		s[w] &^= mask
+	}
+	return s
+}
 
 // Len returns |s|.
-func (s ProcSet) Len() int { return bits.OnesCount64(uint64(s)) }
+func (s ProcSet) Len() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 // IsEmpty reports whether s = ∅.
-func (s ProcSet) IsEmpty() bool { return s == 0 }
+func (s ProcSet) IsEmpty() bool { return s == ProcSet{} }
 
 // Union returns s ∪ t.
-func (s ProcSet) Union(t ProcSet) ProcSet { return s | t }
+func (s ProcSet) Union(t ProcSet) ProcSet {
+	for i := range s {
+		s[i] |= t[i]
+	}
+	return s
+}
 
 // Intersect returns s ∩ t.
-func (s ProcSet) Intersect(t ProcSet) ProcSet { return s & t }
+func (s ProcSet) Intersect(t ProcSet) ProcSet {
+	for i := range s {
+		s[i] &= t[i]
+	}
+	return s
+}
 
 // Minus returns s \ t.
-func (s ProcSet) Minus(t ProcSet) ProcSet { return s &^ t }
+func (s ProcSet) Minus(t ProcSet) ProcSet {
+	for i := range s {
+		s[i] &^= t[i]
+	}
+	return s
+}
 
 // SubsetOf reports whether s ⊆ t.
-func (s ProcSet) SubsetOf(t ProcSet) bool { return s&^t == 0 }
+func (s ProcSet) SubsetOf(t ProcSet) bool {
+	for i := range s {
+		if s[i]&^t[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Intersects reports whether s ∩ t ≠ ∅.
-func (s ProcSet) Intersects(t ProcSet) bool { return s&t != 0 }
+func (s ProcSet) Intersects(t ProcSet) bool {
+	for i := range s {
+		if s[i]&t[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // Min returns the smallest member, or None when s is empty.
 func (s ProcSet) Min() ProcID {
-	if s == 0 {
-		return None
+	for i, w := range s {
+		if w != 0 {
+			return ProcID(64*i + bits.TrailingZeros64(w) + 1)
+		}
 	}
-	return ProcID(bits.TrailingZeros64(uint64(s)) + 1)
+	return None
 }
 
 // Max returns the largest member, or None when s is empty.
 func (s ProcSet) Max() ProcID {
-	if s == 0 {
-		return None
+	for i := procWords - 1; i >= 0; i-- {
+		if w := s[i]; w != 0 {
+			return ProcID(64*i + 64 - bits.LeadingZeros64(w))
+		}
 	}
-	return ProcID(64 - bits.LeadingZeros64(uint64(s)))
+	return None
 }
 
 // Members returns the members in increasing order. It allocates; hot paths
@@ -117,17 +185,37 @@ func (s ProcSet) Members() []ProcID {
 // the extended slice. With a caller-owned scratch slice (dst[:0]) it does
 // not allocate once the scratch has grown to the working-set size.
 func (s ProcSet) AppendMembers(dst []ProcID) []ProcID {
-	for w := uint64(s); w != 0; w &= w - 1 {
-		dst = append(dst, ProcID(bits.TrailingZeros64(w)+1))
+	for i, w := range s {
+		for ; w != 0; w &= w - 1 {
+			dst = append(dst, ProcID(64*i+bits.TrailingZeros64(w)+1))
+		}
 	}
 	return dst
 }
 
 // ForEach calls fn for every member in increasing order. It never allocates.
 func (s ProcSet) ForEach(fn func(ProcID)) {
-	for w := uint64(s); w != 0; w &= w - 1 {
-		fn(ProcID(bits.TrailingZeros64(w) + 1))
+	for i, w := range s {
+		for ; w != 0; w &= w - 1 {
+			fn(ProcID(64*i + bits.TrailingZeros64(w) + 1))
+		}
 	}
+}
+
+// AllSatisfy reports whether fn holds for every member, visiting members in
+// increasing order and stopping at the first false. It never allocates —
+// the early exit makes it the right shape for per-step predicates over the
+// whole set (ForEach cannot stop early, Min/Remove loops pay a whole-word
+// scan per member).
+func (s ProcSet) AllSatisfy(fn func(ProcID) bool) bool {
+	for i, w := range s {
+		for ; w != 0; w &= w - 1 {
+			if !fn(ProcID(64*i + bits.TrailingZeros64(w) + 1)) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Nth returns the i-th smallest member (0-based), or None when i is out of
@@ -136,11 +224,17 @@ func (s ProcSet) Nth(i int) ProcID {
 	if i < 0 {
 		return None
 	}
-	for w := uint64(s); w != 0; w &= w - 1 {
-		if i == 0 {
-			return ProcID(bits.TrailingZeros64(w) + 1)
+	for wi, w := range s {
+		if c := bits.OnesCount64(w); i >= c {
+			i -= c
+			continue
 		}
-		i--
+		for ; w != 0; w &= w - 1 {
+			if i == 0 {
+				return ProcID(64*wi + bits.TrailingZeros64(w) + 1)
+			}
+			i--
+		}
 	}
 	return None
 }
@@ -148,15 +242,32 @@ func (s ProcSet) Nth(i int) ProcID {
 // Smallest returns the subset holding the k smallest members (all of s when
 // k ≥ |s|, the empty set when k ≤ 0).
 func (s ProcSet) Smallest(k int) ProcSet {
-	if k <= 0 {
-		return 0
-	}
 	var out ProcSet
-	for w := uint64(s); w != 0 && k > 0; w &= w - 1 {
-		out |= ProcSet(w & -w)
-		k--
+	if k <= 0 {
+		return out
+	}
+	for i, w := range s {
+		for ; w != 0 && k > 0; w &= w - 1 {
+			out[i] |= w & -w
+			k--
+		}
+		if k == 0 {
+			break
+		}
 	}
 	return out
+}
+
+// AppendWords appends the set's canonical fixed-width binary encoding —
+// procWords little-endian uint64 words, lowest processes first — to b.
+// State encoders (sim.StateEncoder implementations) must use this form so
+// explorer visited-set hashes stay deterministic and bit-identical across
+// worker counts.
+func (s ProcSet) AppendWords(b []byte) []byte {
+	for _, w := range s {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	return b
 }
 
 // String renders the set as {p1,p2,...}.
@@ -164,14 +275,14 @@ func (s ProcSet) String() string {
 	var b strings.Builder
 	b.WriteByte('{')
 	first := true
-	for w := uint64(s); w != 0; w &= w - 1 {
+	s.ForEach(func(p ProcID) {
 		if !first {
 			b.WriteByte(',')
 		}
 		first = false
 		b.WriteByte('p')
-		b.WriteString(strconv.Itoa(bits.TrailingZeros64(w) + 1))
-	}
+		b.WriteString(strconv.Itoa(int(p)))
+	})
 	b.WriteByte('}')
 	return b.String()
 }

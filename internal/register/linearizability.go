@@ -103,11 +103,19 @@ func ExtractKeyedOps(tr *trace.Trace) map[int][]OpRecord {
 	return byKey
 }
 
+// MaxOpsPerHistory is the Wing-Gong checker's hard per-history budget: the
+// search tracks linearization subsets as one uint64 bitmask, so a history
+// may hold at most 64 operations. Workload generators must respect it per
+// key (see MaxOpsPerKey); CheckKeyedLinearizable rejects oversized keys up
+// front with an error naming the key.
+const MaxOpsPerHistory = 64
+
 // CheckKeyedLinearizable runs the register checker independently on every
 // key's history — the store multiplexes independent S-registers, so
 // linearizability is exactly per-key linearizability. Keys are checked in
 // ascending order, making failure messages deterministic. Every register
-// starts at initial.
+// starts at initial. A key whose history exceeds MaxOpsPerHistory is a
+// setup error reported before any search runs.
 func CheckKeyedLinearizable(byKey map[int][]OpRecord, initial Value) error {
 	keys := make([]int, 0, len(byKey))
 	for k := range byKey {
@@ -115,6 +123,9 @@ func CheckKeyedLinearizable(byKey map[int][]OpRecord, initial Value) error {
 	}
 	sort.Ints(keys)
 	for _, k := range keys {
+		if n := len(byKey[k]); n > MaxOpsPerHistory {
+			return fmt.Errorf("register: key %d has %d ops, over the checker's %d-op mask budget — spread the workload over more keys or lower ops per key", k, n, MaxOpsPerHistory)
+		}
 		ok, err := CheckLinearizable(byKey[k], initial)
 		if err != nil {
 			return fmt.Errorf("key %d: %w", k, err)
@@ -135,8 +146,8 @@ func CheckKeyedLinearizable(byKey map[int][]OpRecord, initial Value) error {
 // to 64 operations check instantly at the concurrency levels the simulator
 // produces. More than 64 operations is a setup error.
 func CheckLinearizable(ops []OpRecord, initial Value) (bool, error) {
-	if len(ops) > 64 {
-		return false, fmt.Errorf("register: history of %d ops exceeds the checker's 64-op limit", len(ops))
+	if len(ops) > MaxOpsPerHistory {
+		return false, fmt.Errorf("register: history of %d ops exceeds the checker's %d-op limit", len(ops), MaxOpsPerHistory)
 	}
 	c := linChecker{ops: ops, memo: make(map[linState]bool)}
 	var completeMask uint64

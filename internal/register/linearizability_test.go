@@ -191,28 +191,45 @@ func TestCheckKeyedLinearizableNeverWrittenKey(t *testing.T) {
 }
 
 func TestCheckKeyedLinearizableOpBudgetBoundary(t *testing.T) {
-	// Exactly 64 ops on one key is checkable; 65 must surface the
-	// checker's budget error, wrapped with the key.
-	mk := func(n int) map[int][]OpRecord {
+	// The keyed checker guards every key's history against the Wing-Gong
+	// mask budget (MaxOpsPerHistory) before any search runs, naming the
+	// offending key and the cap.
+	mkOps := func(n int) []OpRecord {
 		ops := make([]OpRecord, n)
 		for i := range ops {
 			ops[i] = r(1, 0, dist.Time(2*i), dist.Time(2*i+1))
 		}
-		return map[int][]OpRecord{7: ops}
+		return ops
 	}
-	if err := CheckKeyedLinearizable(mk(64), 0); err != nil {
-		t.Fatalf("64-op history must check: %v", err)
+	cases := []struct {
+		name    string
+		byKey   map[int][]OpRecord
+		wantErr bool
+		substrs []string
+	}{
+		{"at budget", map[int][]OpRecord{7: mkOps(MaxOpsPerHistory)}, false, nil},
+		{"one over budget", map[int][]OpRecord{7: mkOps(MaxOpsPerHistory + 1)}, true,
+			[]string{"key 7", "65 ops", "64-op mask budget"}},
+		{"far over budget", map[int][]OpRecord{3: mkOps(500)}, true,
+			[]string{"key 3", "500 ops", "64-op mask budget"}},
+		{"only the oversized key is named", map[int][]OpRecord{
+			1: mkOps(4), 9: mkOps(MaxOpsPerHistory + 2), 12: mkOps(4)}, true,
+			[]string{"key 9", "66 ops"}},
 	}
-	err := CheckKeyedLinearizable(mk(65), 0)
-	if err == nil {
-		t.Fatal("65-op history must exceed the checker budget")
-	}
-	if !strings.Contains(err.Error(), "key 7") || !strings.Contains(err.Error(), "64-op limit") {
-		t.Fatalf("budget error must name the key and the limit: %v", err)
+	for _, tc := range cases {
+		err := CheckKeyedLinearizable(tc.byKey, 0)
+		if tc.wantErr != (err != nil) {
+			t.Fatalf("%s: err = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+		for _, sub := range tc.substrs {
+			if !strings.Contains(err.Error(), sub) {
+				t.Fatalf("%s: error %q must mention %q", tc.name, err, sub)
+			}
+		}
 	}
 	// MaxOpsPerKey keeps generated workloads strictly inside the budget.
-	if MaxOpsPerKey > 64 {
-		t.Fatalf("MaxOpsPerKey %d exceeds the checker's 64-op budget", MaxOpsPerKey)
+	if MaxOpsPerKey > MaxOpsPerHistory {
+		t.Fatalf("MaxOpsPerKey %d exceeds the checker's %d-op budget", MaxOpsPerKey, MaxOpsPerHistory)
 	}
 }
 

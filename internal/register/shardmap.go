@@ -22,10 +22,6 @@ type ShardMap struct {
 	groups []dist.ProcSet
 }
 
-// MaxShards bounds the shard count so per-shard availability fits one
-// uint64 bitmask (and a shard index always fits the key-striping math).
-const MaxShards = 64
-
 // NewShardMap builds the canonical shard map for an n-process system:
 // process p replicates shard (p-1) mod shards, so the groups partition Π
 // round-robin into disjoint replica sets (the bounded-sharing layout: every
@@ -104,19 +100,19 @@ func (m *ShardMap) Group(shard int) dist.ProcSet { return m.groups[shard] }
 // Owns reports whether process p replicates the given shard.
 func (m *ShardMap) Owns(p dist.ProcID, shard int) bool { return m.groups[shard].Contains(p) }
 
-// Available returns the bitmask of shards whose replica group intersects
+// Available returns the set of shards whose replica group intersects
 // correct: exactly those shards still have live quorums (Σ_{S_i} projected
 // onto a fully crashed group has no non-empty intersection-closed trusted
 // sets, so operations on such a shard can never complete — the paper's
 // impossibility, one shard at a time).
-func (m *ShardMap) Available(correct dist.ProcSet) uint64 {
-	var mask uint64
+func (m *ShardMap) Available(correct dist.ProcSet) ShardSet {
+	var avail ShardSet
 	for i, g := range m.groups {
 		if g.Intersects(correct) {
-			mask |= 1 << uint(i)
+			avail = avail.Add(i)
 		}
 	}
-	return mask
+	return avail
 }
 
 // String renders the shard layout.

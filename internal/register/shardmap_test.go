@@ -75,20 +75,20 @@ func TestShardMapAvailable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := m.Available(dist.FullSet(6)); got != 0b111 {
-		t.Fatalf("all-correct availability %b, want 111", got)
+	if got := m.Available(dist.FullSet(6)); got != NewShardSet(0, 1, 2) {
+		t.Fatalf("all-correct availability %v, want {s0,s1,s2}", got)
 	}
 	// Crash shard 1's whole group: only its bit drops.
 	correct := dist.FullSet(6).Remove(2).Remove(5)
-	if got := m.Available(correct); got != 0b101 {
-		t.Fatalf("availability %b, want 101", got)
+	if got := m.Available(correct); got != NewShardSet(0, 2) {
+		t.Fatalf("availability %v, want {s0,s2}", got)
 	}
 	// Losing one member of a group keeps the shard available.
-	if got := m.Available(dist.FullSet(6).Remove(4)); got != 0b111 {
-		t.Fatalf("availability %b after one replica loss, want 111", got)
+	if got := m.Available(dist.FullSet(6).Remove(4)); got != NewShardSet(0, 1, 2) {
+		t.Fatalf("availability %v after one replica loss, want {s0,s1,s2}", got)
 	}
-	if got := m.Available(0); got != 0 {
-		t.Fatalf("availability %b with nothing correct", got)
+	if got := m.Available(dist.ProcSet{}); !got.IsEmpty() {
+		t.Fatalf("availability %v with nothing correct", got)
 	}
 }
 
@@ -110,7 +110,7 @@ func TestShardMapConstructionErrors(t *testing.T) {
 			t.Fatalf("%s: NewShardMap(%d,%d,%d) must fail", tc.name, tc.n, tc.keys, tc.shards)
 		}
 	}
-	if _, err := NewShardMapWithGroups(4, 4, []dist.ProcSet{dist.NewProcSet(1, 2), 0}); err == nil {
+	if _, err := NewShardMapWithGroups(4, 4, []dist.ProcSet{dist.NewProcSet(1, 2), {}}); err == nil {
 		t.Fatal("empty group must be rejected")
 	}
 	if _, err := NewShardMapWithGroups(4, 4, []dist.ProcSet{dist.NewProcSet(1, 5)}); err == nil {

@@ -556,7 +556,7 @@ type StoreNode struct {
 	win      []shardWin
 	maxWin   int
 	stall    int
-	doneMask uint64 // shards that completed an op this client step
+	doneMask ShardSet // shards that completed an op this client step
 	load     []int  // outstanding ops per shard, maintained on start/complete
 
 	// Retransmission state (Retransmit only): the client's own step clock
@@ -791,18 +791,18 @@ func StoreProgram(n int, s dist.ProcSet, cfg StoreConfig, scripts [][]KeyedOp) (
 func (a *StoreNode) Done() bool { return a.queued == 0 && len(a.pend) == 0 }
 
 // DoneOn reports whether the node has finished all work destined to the
-// shards of the avail bitmask: nothing queued for and nothing outstanding on
+// shards of the avail set: nothing queued for and nothing outstanding on
 // an available shard. Operations routed to unavailable shards (a fully
 // crashed replica group) can never complete and are excluded — a crash only
 // degrades its own shard.
-func (a *StoreNode) DoneOn(avail uint64) bool {
+func (a *StoreNode) DoneOn(avail ShardSet) bool {
 	for sh := range a.queues {
-		if avail&(1<<uint(sh)) != 0 && len(a.queues[sh]) > 0 {
+		if avail.Has(sh) && len(a.queues[sh]) > 0 {
 			return false
 		}
 	}
 	for i := range a.pend {
-		if avail&(1<<uint(a.pend[i].shard)) != 0 {
+		if avail.Has(a.pend[i].shard) {
 			return false
 		}
 	}
@@ -867,7 +867,7 @@ func (a *StoreNode) Step(e *sim.Env) {
 	}
 	if a.s.Contains(a.self) && !a.Done() {
 		a.steps++
-		a.doneMask = 0
+		a.doneMask = ShardSet{}
 		a.advance(e)
 		a.adaptWindows()
 		a.retransmit()
@@ -1057,7 +1057,7 @@ func (a *StoreNode) winFor(sh int) int {
 // MaxWindow. Completion also clears the shard's stall clock (via doneMask
 // in adaptWindows).
 func (a *StoreNode) noteCompletion(sh int) {
-	a.doneMask |= 1 << uint(sh)
+	a.doneMask = a.doneMask.Add(sh)
 	if !a.cfg.AdaptiveWindow {
 		return
 	}
@@ -1084,7 +1084,7 @@ func (a *StoreNode) adaptWindows() {
 	}
 	for sh := range a.win {
 		w := &a.win[sh]
-		if a.doneMask&(1<<uint(sh)) != 0 || a.load[sh] == 0 {
+		if a.doneMask.Has(sh) || a.load[sh] == 0 {
 			w.idle = 0
 			continue
 		}
@@ -1228,7 +1228,7 @@ func (a *StoreNode) advance(e *sim.Env) {
 			a.rid++
 			op.rid = a.rid
 			op.phase = 2
-			op.acks = 0
+			op.acks = dist.ProcSet{}
 			op.best, op.bestVal = st, v
 			op.lastSend = a.steps
 			op.rto = a.rto0

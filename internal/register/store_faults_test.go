@@ -12,7 +12,7 @@ import (
 // runStoreFaulted runs one traced store run under a fault plan, stopping on
 // the reachability-masked completion condition, and returns the result plus
 // the masks used.
-func runStoreFaulted(t *testing.T, f *dist.FailurePattern, s dist.ProcSet, cfg StoreConfig, scripts [][]KeyedOp, fp *sim.FaultPlan, stab dist.Time, seed int64) (*sim.Result, []uint64) {
+func runStoreFaulted(t *testing.T, f *dist.FailurePattern, s dist.ProcSet, cfg StoreConfig, scripts [][]KeyedOp, fp *sim.FaultPlan, stab dist.Time, seed int64) (*sim.Result, []ShardSet) {
 	t.Helper()
 	prog, err := StoreProgram(f.N(), s, cfg, scripts)
 	if err != nil {
@@ -116,10 +116,10 @@ func TestStoreHealedPartitionCompletesEverything(t *testing.T) {
 	}
 	for seed := int64(0); seed < 6; seed++ {
 		res, masks := runStoreFaulted(t, f, s, cfg, scripts, fp, 10, seed)
-		full := uint64(1)<<shards - 1
+		full := FullShardSet(shards)
 		for _, p := range s.Members() {
-			if masks[p]&full != full {
-				t.Fatalf("a healed partition must not mask any shard: p%d mask %b", int(p), masks[p])
+			if masks[p].Intersect(full) != full {
+				t.Fatalf("a healed partition must not mask any shard: p%d mask %v", int(p), masks[p])
 			}
 		}
 		if res.Reason != sim.ReasonStopCond {
@@ -167,8 +167,8 @@ func TestStoreUnhealedPartitionParksMinority(t *testing.T) {
 		if masks == nil {
 			t.Fatal("an unhealed partition must produce reachability masks")
 		}
-		if masks[1]&(1<<1) != 0 || masks[2]&(1<<0) != 0 {
-			t.Fatalf("masks missed the cut: p1=%b p2=%b", masks[1], masks[2])
+		if masks[1].Has(1) || masks[2].Has(0) {
+			t.Fatalf("masks missed the cut: p1=%v p2=%v", masks[1], masks[2])
 		}
 		if res.Reason != sim.ReasonStopCond {
 			t.Fatalf("seed %d: majority-side work never finished: %s", seed, res.Reason)
@@ -218,9 +218,9 @@ func TestStoreReplyDedup(t *testing.T) {
 	// A stale phase-1 reply after the op moved to phase 2 is ignored.
 	op.phase = 2
 	op.rid = 10
-	op.acks = 0
+	op.acks = dist.ProcSet{}
 	a.absorbQueryReps(rep, 3)
-	if op.acks != 0 {
+	if !op.acks.IsEmpty() {
 		t.Fatalf("stale-phase reply credited: acks=%v", op.acks)
 	}
 	// Store acks dedup the same way.

@@ -216,7 +216,7 @@ func TestAdaptiveControllerEdges(t *testing.T) {
 	a.load[0] = 1 // one op outstanding on shard 0
 	stall := func(steps int) {
 		for i := 0; i < steps; i++ {
-			a.doneMask = 0
+			a.doneMask = ShardSet{}
 			a.adaptWindows()
 		}
 	}
@@ -236,7 +236,7 @@ func TestAdaptiveControllerEdges(t *testing.T) {
 	// more idle steps never reach the threshold of 3 consecutive ones.
 	a.win[0].cur = 4
 	stall(2)
-	a.doneMask = 0
+	a.doneMask = ShardSet{}
 	a.noteCompletion(0)
 	a.adaptWindows()
 	stall(2)

@@ -394,8 +394,8 @@ func TestStoreShardCrashOnlyDegradesItsOwnShard(t *testing.T) {
 			f.CrashAt(p, crashAt)
 		}
 		avail := m.Available(f.Correct())
-		if avail != 0b101 {
-			t.Fatalf("availability mask %b, want 101", avail)
+		if avail != NewShardSet(0, 2) {
+			t.Fatalf("availability %v, want {s0,s2}", avail)
 		}
 		res := runStore(t, f, s, cfg, scripts, 150, seed)
 		if err := VerifyStoreRun(res, f.Correct()); err != nil {

@@ -88,7 +88,7 @@ func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
 		return nil, fmt.Errorf("register: no correct client — S=%v is entirely crashed by %v", cfg.S, cfg.Pattern)
 	}
 	avail := shardMap.Available(correct)
-	if avail == 0 {
+	if avail.IsEmpty() {
 		// Same reasoning per shard: if every replica group is fully
 		// crashed, no operation can ever complete and every run verifies
 		// an empty history.
@@ -98,13 +98,13 @@ func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
 	// through the run horizon (nil without faults — everything reachable).
 	masks := StoreReach(shardMap, cfg.Faults, correct, clients, dist.Time(maxSteps))
 	if masks != nil {
-		any := uint64(0)
+		var any ShardSet
 		for set := clients; !set.IsEmpty(); {
 			p := set.Min()
 			set = set.Remove(p)
-			any |= avail & masks[p]
+			any = any.Union(avail.Intersect(masks[p]))
 		}
-		if any == 0 {
+		if any.IsEmpty() {
 			// An unhealed partition cutting every client off every shard
 			// verifies only empty histories — a setup error, like avail == 0.
 			return nil, fmt.Errorf("register: no client can reach any available shard through the run horizon (unhealed partitions cut everything)")
@@ -172,7 +172,7 @@ func (cfg StoreSweepConfig) EffectiveMaxSteps() int64 {
 	return ms
 }
 
-// StoreReach computes, per client, the bitmask of shards whose correct
+// StoreReach computes, per client, the set of shards whose correct
 // replicas it can all reach at some point before the horizon — i.e. no
 // partition separating the client from a correct group member extends to the
 // horizon. Σ_S completion needs acks from every correct group member (the
@@ -180,11 +180,11 @@ func (cfg StoreSweepConfig) EffectiveMaxSteps() int64 {
 // replica parks the whole shard for that client. Returns nil when fp is nil
 // or partition-free (everything reachable); otherwise a ProcID-indexed
 // slice, zero for non-clients.
-func StoreReach(m *ShardMap, fp *sim.FaultPlan, correct, clients dist.ProcSet, horizon dist.Time) []uint64 {
+func StoreReach(m *ShardMap, fp *sim.FaultPlan, correct, clients dist.ProcSet, horizon dist.Time) []ShardSet {
 	if fp == nil || len(fp.Partitions) == 0 {
 		return nil
 	}
-	masks := make([]uint64, int(clients.Max())+1)
+	masks := make([]ShardSet, int(clients.Max())+1)
 	for set := clients; !set.IsEmpty(); {
 		c := set.Min()
 		set = set.Remove(c)
@@ -199,7 +199,7 @@ func StoreReach(m *ShardMap, fp *sim.FaultPlan, correct, clients dist.ProcSet, h
 				}
 			}
 			if reachable {
-				masks[c] |= 1 << uint(sh)
+				masks[c] = masks[c].Add(sh)
 			}
 		}
 	}
@@ -210,34 +210,34 @@ func StoreReach(m *ShardMap, fp *sim.FaultPlan, correct, clients dist.ProcSet, h
 // to completion — the stop condition of failure-free store runs (pass the
 // correct members of S; crashed clients never finish).
 func StoreClientsDone(sn *sim.Snapshot, clients dist.ProcSet) bool {
-	return StoreClientsDoneOn(sn, clients, ^uint64(0))
+	return StoreClientsDoneOn(sn, clients, allShards)
 }
 
+// allShards is FullShardSet(MaxShards), hoisted: StoreClientsDone runs once
+// per simulation step.
+var allShards = FullShardSet(MaxShards)
+
 // StoreClientsDoneOn reports whether every client in clients has finished
-// all work routed to the shards of the avail bitmask — the stop condition
+// all work routed to the shards of the avail set — the stop condition
 // of store runs under per-shard crash scenarios: operations bound for a
 // shard whose whole replica group crashed can never complete and must not
 // keep the run alive (see ShardMap.Available).
-func StoreClientsDoneOn(sn *sim.Snapshot, clients dist.ProcSet, avail uint64) bool {
+func StoreClientsDoneOn(sn *sim.Snapshot, clients dist.ProcSet, avail ShardSet) bool {
 	return storeClientsDoneMasked(sn, clients, avail, nil)
 }
 
 // storeClientsDoneMasked is StoreClientsDoneOn with an optional per-client
 // reachability mask (StoreReach): each client only needs to finish work on
 // shards that are both available and reachable to it.
-func storeClientsDoneMasked(sn *sim.Snapshot, clients dist.ProcSet, avail uint64, masks []uint64) bool {
-	for set := clients; !set.IsEmpty(); {
-		p := set.Min()
-		set = set.Remove(p)
+func storeClientsDoneMasked(sn *sim.Snapshot, clients dist.ProcSet, avail ShardSet, masks []ShardSet) bool {
+	return clients.AllSatisfy(func(p dist.ProcID) bool {
 		eff := avail
 		if masks != nil {
-			eff &= masks[p]
+			eff = eff.Intersect(masks[p])
 		}
-		if node, ok := sn.Automaton(p).(*StoreNode); !ok || !node.DoneOn(eff) {
-			return false
-		}
-	}
-	return true
+		node, ok := sn.Automaton(p).(*StoreNode)
+		return ok && node.DoneOn(eff)
+	})
 }
 
 // VerifyStoreRun checks one finished store run end to end: every correct
@@ -257,7 +257,7 @@ func VerifyStoreRun(res *sim.Result, correct dist.ProcSet) error {
 // minority-side operations may stay parked — the graceful-degradation
 // verdict. Linearizability is checked on the full recorded history either
 // way: parked operations never returned, so they cannot violate.
-func VerifyStoreRunReach(res *sim.Result, correct dist.ProcSet, masks []uint64) error {
+func VerifyStoreRunReach(res *sim.Result, correct dist.ProcSet, masks []ShardSet) error {
 	for _, a := range res.Automata {
 		node, ok := a.(*StoreNode)
 		if !ok || !node.s.Contains(node.self) || !correct.Contains(node.self) {
@@ -265,10 +265,10 @@ func VerifyStoreRunReach(res *sim.Result, correct dist.ProcSet, masks []uint64) 
 		}
 		avail := node.shards.Available(correct)
 		if masks != nil {
-			avail &= masks[node.self]
+			avail = avail.Intersect(masks[node.self])
 		}
 		if !node.DoneOn(avail) {
-			return fmt.Errorf("register: correct client p%d stopped at %d/%d scripted ops with work left on available shards %b (%d in flight; run ended: %s)",
+			return fmt.Errorf("register: correct client p%d stopped at %d/%d scripted ops with work left on available shards %v (%d in flight; run ended: %s)",
 				int(node.self), node.completed, node.scriptLen, avail, len(node.pend), res.Reason)
 		}
 	}

@@ -118,7 +118,7 @@ func Lemma7(cfg Lemma7Config) (*Certificate, error) {
 			fr.CrashAt(id, 0)
 		}
 	}
-	sigmaR := sigmaConstant(pair, dist.ProcSet(0)) // ∅ at actives forever
+	sigmaR := sigmaConstant(pair, dist.ProcSet{}) // ∅ at actives forever
 
 	target := dist.NewProcSet(cfg.Aux, cfg.P)
 	prog := func(p dist.ProcID, n int) sim.Automaton { return cfg.Candidate(p, n) }

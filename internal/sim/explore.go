@@ -483,7 +483,7 @@ func (w *xworker) hashState(s *xstate) uint64 {
 		b = AppendValue(b, a)
 		b = AppendUint64(b, uint64(len(b)-start))
 	}
-	b = AppendUint64(b, uint64(s.decided))
+	b = s.decided.AppendWords(b)
 	for set := s.decided; !set.IsEmpty(); {
 		p := set.Min()
 		set = set.Remove(p)
@@ -508,7 +508,7 @@ func (w *xworker) hashState(s *xstate) uint64 {
 }
 
 func (w *xworker) msgHash(from dist.ProcID, layer Layer, payload any) uint64 {
-	b := append(w.menc[:0], byte(from), byte(layer))
+	b := append(w.menc[:0], byte(from), byte(from>>8), byte(layer))
 	b = AppendValue(b, payload)
 	w.menc = b
 	return hash64(b)

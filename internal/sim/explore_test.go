@@ -49,7 +49,7 @@ func (a *pingAll) AppendState(b []byte) []byte {
 	if a.decided {
 		flags |= 2
 	}
-	return append(b, byte(a.self), flags, byte(a.count))
+	return append(b, byte(a.self), byte(a.self>>8), flags, byte(a.count))
 }
 
 // selfish decides its own identity at its first step — any check requiring

@@ -378,7 +378,7 @@ func (r *Runner) reset() {
 	r.lastProgress = 0
 	r.err = nil
 	r.ran = false
-	r.decidedSet = 0
+	r.decidedSet = dist.ProcSet{}
 	r.crashPos = 0
 	for i := range r.inboxes {
 		r.inboxes[i].reset()

@@ -67,6 +67,10 @@ type RandomScheduler struct {
 
 	lastStep [dist.MaxProcs + 1]int64
 	tick     int64
+	// The alive set only changes at crash times, so the materialized member
+	// list is cached keyed on the set value (== is a cheap word compare)
+	// rather than rebuilt every step.
+	aliveKey dist.ProcSet
 	scratch  []dist.ProcID
 }
 
@@ -95,8 +99,11 @@ func (s *RandomScheduler) Reseed(seed int64) {
 
 // Next implements Scheduler.
 func (s *RandomScheduler) Next(v *View) (Choice, bool) {
-	alive := v.Alive.AppendMembers(s.scratch[:0])
-	s.scratch = alive
+	if v.Alive != s.aliveKey {
+		s.scratch = v.Alive.AppendMembers(s.scratch[:0])
+		s.aliveKey = v.Alive
+	}
+	alive := s.scratch
 	if len(alive) == 0 {
 		return Choice{}, false
 	}

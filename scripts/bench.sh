@@ -10,7 +10,8 @@
 #                                    # additionally write every benchmark row
 #                                    # as machine-readable JSON (name,
 #                                    # iterations, ns_per_op, msgs_per_op,
-#                                    # ops_per_sec, allocs_per_op, and — on
+#                                    # ops_per_sec, allocs_per_op, gomaxprocs,
+#                                    # num_cpu, and — on
 #                                    # store rows — the per-op latency tail
 #                                    # lat_p50_steps/lat_p99_steps/
 #                                    # lat_p999_steps, in schedule-
@@ -50,11 +51,18 @@ if ! go test "$@" . >"$TMP" 2>&1; then
 fi
 cat "$TMP"
 # Each benchmark line is "BenchmarkName[-GOMAXPROCS] iters v1 unit1 v2 unit2 ..."
-# and becomes one JSON object keyed by sanitized unit names.
-awk '
+# and becomes one JSON object keyed by sanitized unit names, annotated with
+# the machine context (gomaxprocs from the name suffix, num_cpu from nproc)
+# so cross-snapshot comparisons can flag apples-to-oranges runs.
+NUM_CPU="$( (nproc || getconf _NPROCESSORS_ONLN || echo 0) 2>/dev/null | head -n1 )"
+awk -v num_cpu="$NUM_CPU" '
   /^Benchmark/ {
     name = $1
-    sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+    gmp = 1 # go test omits the -N suffix exactly when GOMAXPROCS is 1
+    if (match(name, /-[0-9]+$/)) {
+      gmp = substr(name, RSTART + 1) + 0
+      name = substr(name, 1, RSTART - 1) # strip the GOMAXPROCS suffix
+    }
     row = sprintf("{\"name\":\"%s\",\"iterations\":%s", name, $2)
     for (i = 3; i + 1 <= NF; i += 2) {
       unit = $(i + 1)
@@ -62,6 +70,7 @@ awk '
       gsub(/-/, "_", unit)
       row = row sprintf(",\"%s\":%s", unit, $i)
     }
+    row = row sprintf(",\"gomaxprocs\":%d,\"num_cpu\":%d", gmp, num_cpu)
     rows[n++] = row "}"
   }
   END {
