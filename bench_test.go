@@ -51,13 +51,45 @@ func reportLatency(b *testing.B, lat *sweep.Hist) {
 	b.ReportMetric(float64(lat.Quantile(0.999)), "lat_p999_steps")
 }
 
-// mergeStoreLatency folds every store node's per-op latency histogram of one
-// finished run into lat (replicas without scripts contribute empty hists).
-func mergeStoreLatency(res *sim.Result, lat *sweep.Hist) {
+// storeLats accumulates the per-op metrics of store runs: the latency
+// histogram plus its clean/faulted fault-exposure split (an op is faulted
+// once it pays a retransmit, which parked-behind-a-partition ops always do),
+// and the run's fast-read/fallback counters.
+type storeLats struct {
+	lat, clean, faulted  sweep.Hist
+	fastReads, fallbacks int64
+}
+
+// merge folds every store node's histograms and counters of one finished run
+// into the accumulator (replicas without scripts contribute empty hists).
+func (l *storeLats) merge(res *sim.Result) {
 	for _, a := range res.Automata {
 		if node, ok := a.(*register.StoreNode); ok {
-			lat.Merge(node.LatencyHist())
+			l.lat.Merge(node.LatencyHist())
+			l.clean.Merge(node.CleanLatencyHist())
+			l.faulted.Merge(node.FaultedLatencyHist())
+			l.fastReads += node.FastReads()
+			l.fallbacks += node.ReadFallbacks()
 		}
+	}
+}
+
+// report emits the latency tail plus, when populated, the clean/faulted
+// split (only fault rows ever tag an op faulted — on clean rows the split
+// would duplicate the total) and the fast-read counters per completed op
+// (only FastReads rows produce them).
+func (l *storeLats) report(b *testing.B, completed int64) {
+	b.Helper()
+	reportLatency(b, &l.lat)
+	if l.faulted.Count > 0 {
+		b.ReportMetric(float64(l.clean.Quantile(0.50)), "lat_clean_p50_steps")
+		b.ReportMetric(float64(l.clean.Quantile(0.99)), "lat_clean_p99_steps")
+		b.ReportMetric(float64(l.faulted.Quantile(0.50)), "lat_faulted_p50_steps")
+		b.ReportMetric(float64(l.faulted.Quantile(0.99)), "lat_faulted_p99_steps")
+	}
+	if l.fastReads > 0 || l.fallbacks > 0 {
+		b.ReportMetric(float64(l.fastReads)/float64(completed), "fastreads/op")
+		b.ReportMetric(float64(l.fallbacks)/float64(completed), "fallbacks/op")
 	}
 }
 
@@ -396,14 +428,22 @@ func BenchmarkABDRegister(b *testing.B) {
 // merge; E28 pushes the arrival rate past capacity (gap 2) so queueing
 // delay dominates the measured-from-arrival latency and the msgs/op saving
 // is at its largest.
+// E31–E33 are the fast-read experiments: E31 is the headline claim — on a
+// read-heavy zipf workload (write ratio 0.1, failure-free) one-phase reads
+// cut msgs/op ≥ 30% and read p50 to half or less vs the identical
+// FastReads=false row; E32 turns the E25 adversarial network (loss + dup +
+// healing partition) on under fast reads, where broken unanimity exercises
+// the write-back fallback and the clean/faulted latency split prices it;
+// E33 is fast reads at the E29 scale point (n=128, 16 shard groups) under
+// the same faults.
 func BenchmarkStore(b *testing.B) {
 	const n, keys, opsPerClient = 5, 12, 12
 	f := dist.NewFailurePattern(n)
 	s := dist.RangeSet(1, 3)
-	run := func(b *testing.B, cfg register.StoreConfig, wlShards int) {
+	runWR := func(b *testing.B, cfg register.StoreConfig, wlShards int, writeRatio float64) {
 		scripts, err := register.GenerateStoreWorkload(register.StoreWorkloadConfig{
 			N: n, S: s, Keys: keys, Shards: wlShards, OpsPerClient: opsPerClient,
-			WriteRatio: -1, Skew: 1.3, Seed: 42,
+			WriteRatio: writeRatio, Skew: 1.3, Seed: 42,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -421,7 +461,7 @@ func BenchmarkStore(b *testing.B) {
 			},
 		})
 		var steps, msgs, completed, replicaBytes int64
-		var lat sweep.Hist
+		var lats storeLats
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -443,13 +483,16 @@ func BenchmarkStore(b *testing.B) {
 			completed += int64(done)
 			steps += res.Steps
 			msgs += res.MessagesSent
-			mergeStoreLatency(res, &lat)
+			lats.merge(res)
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
 		b.ReportMetric(float64(replicaBytes)/float64(n), "replica-B/node")
 		reportRun(b, steps, msgs)
-		reportLatency(b, &lat)
+		lats.report(b, completed)
+	}
+	run := func(b *testing.B, cfg register.StoreConfig, wlShards int) {
+		runWR(b, cfg, wlShards, -1)
 	}
 	// E17: throughput vs pipelining window.
 	for _, w := range []int{1, 2, 4, 8} {
@@ -517,15 +560,32 @@ func BenchmarkStore(b *testing.B) {
 			}, 4)
 		})
 	}
+	// E31: the fast-read operating point — read-heavy zipf (write ratio
+	// 0.1), failure-free, at the E22 shards=4 piggyback configuration. The
+	// on row elides the write-back round on (nearly) every read.
+	b.Run("readheavy-fastread-off", func(b *testing.B) {
+		runWR(b, register.StoreConfig{Keys: keys, Shards: 4, Window: 8, Piggyback: true}, 4, 0.1)
+	})
+	b.Run("readheavy-fastread-on", func(b *testing.B) {
+		runWR(b, register.StoreConfig{
+			Keys: keys, Shards: 4, Window: 8, Piggyback: true, FastReads: true,
+		}, 4, 0.1)
+	})
 	// E29/E30: the multi-word scale points — systems past the old 64-process
 	// ceiling, 8-replica shard groups, the E24-style network (loss + dup +
 	// delay + a healing partition between two groups) with retransmission
 	// and adaptive windows armed. One client per shard group.
 	b.Run("scale-n=128-shards=16", func(b *testing.B) {
-		runStoreScaleFaults(b, 128, 16, 16, 4)
+		runStoreScaleFaults(b, 128, 16, 16, 4, false)
 	})
 	b.Run("scale-n=256-shards=32", func(b *testing.B) {
-		runStoreScaleFaults(b, 256, 32, 32, 3)
+		runStoreScaleFaults(b, 256, 32, 32, 3, false)
+	})
+	// E33: fast reads at the n=128 scale point under the same adversarial
+	// network — unanimity breaks across 8-replica groups, so the elision
+	// rate here is the realistic one, not the failure-free ceiling.
+	b.Run("scale-n=128-shards=16-fastread", func(b *testing.B) {
+		runStoreScaleFaults(b, 128, 16, 16, 4, true)
 	})
 	// E24: lossy, duplicating, delaying network with retransmission armed.
 	b.Run("faults-loss", func(b *testing.B) {
@@ -538,6 +598,17 @@ func BenchmarkStore(b *testing.B) {
 	b.Run("faults-partition", func(b *testing.B) {
 		runStoreFaults(b,
 			register.StoreConfig{Keys: keys, Shards: 4, Window: 8, Retransmit: true, RTO: 16},
+			true)
+	})
+	// E32: fast reads on the E25 network — loss and the partition break
+	// phase-1 unanimity, so completion leans on the write-back fallback and
+	// the confirmed-timestamp rescue; fastreads/op and fallbacks/op report
+	// how often each fired, and the clean/faulted split prices the fallback.
+	b.Run("faults-partition-fastread", func(b *testing.B) {
+		runStoreFaults(b,
+			register.StoreConfig{
+				Keys: keys, Shards: 4, Window: 8, Retransmit: true, RTO: 16, FastReads: true,
+			},
 			true)
 	})
 }
@@ -587,7 +658,7 @@ func runStoreCrashShard(b *testing.B, cfg register.StoreConfig) {
 		},
 	})
 	var steps, msgs, completed int64
-	var lat sweep.Hist
+	var lats storeLats
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -607,12 +678,12 @@ func runStoreCrashShard(b *testing.B, cfg register.StoreConfig) {
 		completed += int64(done)
 		steps += res.Steps
 		msgs += res.MessagesSent
-		mergeStoreLatency(res, &lat)
+		lats.merge(res)
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
 	reportRun(b, steps, msgs)
-	reportLatency(b, &lat)
+	lats.report(b, completed)
 }
 
 // runStoreFaults is the E24/E25 harness: a failure-free process set under
@@ -657,7 +728,7 @@ func runStoreFaults(b *testing.B, cfg register.StoreConfig, withPartition bool) 
 		},
 	})
 	var steps, msgs, completed, retransmits, drops, dups int64
-	var lat sweep.Hist
+	var lats storeLats
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -680,7 +751,7 @@ func runStoreFaults(b *testing.B, cfg register.StoreConfig, withPartition bool) 
 		msgs += res.MessagesSent
 		drops += res.MessagesDropped
 		dups += res.MessagesDuplicated
-		mergeStoreLatency(res, &lat)
+		lats.merge(res)
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
@@ -688,7 +759,7 @@ func runStoreFaults(b *testing.B, cfg register.StoreConfig, withPartition bool) 
 	b.ReportMetric(float64(drops)/float64(completed), "drops/op")
 	b.ReportMetric(float64(dups)/float64(completed), "dups/op")
 	reportRun(b, steps, msgs)
-	reportLatency(b, &lat)
+	lats.report(b, completed)
 }
 
 // runStoreScaleFaults is the E29/E30 harness: an n-process store with
@@ -697,8 +768,9 @@ func runStoreFaults(b *testing.B, cfg register.StoreConfig, withPartition bool) 
 // off group 1 during [60, 300) before healing. Retransmission and the
 // adaptive window controller are armed, so every scripted op completes —
 // including the parked cross-partition ones — and the fault price is
-// reported as retransmits/op, drops/op and dups/op.
-func runStoreScaleFaults(b *testing.B, n, shards, clients, opsPerClient int) {
+// reported as retransmits/op, drops/op and dups/op. fastReads arms the E33
+// one-phase read path on the same workload and network.
+func runStoreScaleFaults(b *testing.B, n, shards, clients, opsPerClient int, fastReads bool) {
 	const keys = 64
 	f := dist.NewFailurePattern(n)
 	s := dist.RangeSet(1, dist.ProcID(clients))
@@ -706,6 +778,7 @@ func runStoreScaleFaults(b *testing.B, n, shards, clients, opsPerClient int) {
 		Keys: keys, Shards: shards, Window: 2,
 		AdaptiveWindow: true, MaxWindow: 6, StallSteps: 8,
 		Retransmit: true, RTO: 24, MaxRTO: 96,
+		FastReads: fastReads,
 	}
 	m, err := cfg.ShardMap(n)
 	if err != nil {
@@ -738,7 +811,7 @@ func runStoreScaleFaults(b *testing.B, n, shards, clients, opsPerClient int) {
 		},
 	})
 	var steps, msgs, completed, retransmits, drops, dups, replicaBytes int64
-	var lat sweep.Hist
+	var lats storeLats
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -763,7 +836,7 @@ func runStoreScaleFaults(b *testing.B, n, shards, clients, opsPerClient int) {
 		msgs += res.MessagesSent
 		drops += res.MessagesDropped
 		dups += res.MessagesDuplicated
-		mergeStoreLatency(res, &lat)
+		lats.merge(res)
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
@@ -772,7 +845,7 @@ func runStoreScaleFaults(b *testing.B, n, shards, clients, opsPerClient int) {
 	b.ReportMetric(float64(dups)/float64(completed), "dups/op")
 	b.ReportMetric(float64(replicaBytes)/float64(n), "replica-B/node")
 	reportRun(b, steps, msgs)
-	reportLatency(b, &lat)
+	lats.report(b, completed)
 }
 
 // BenchmarkConsensus regenerates experiment E13: the Ω+Σ baseline.
@@ -1008,6 +1081,69 @@ func BenchmarkSweep(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/sec")
+			reportRun(b, steps, msgs)
+		})
+	}
+}
+
+// BenchmarkStoreSweepWorkers regenerates experiment E34: multi-core speedup
+// of the store sweep engine on a full-stack workload (fast reads, piggyback,
+// adaptive windows, retransmission, loss + dup + a healing partition), 32
+// seeds per op on pools of 1/2/4 workers. On a 1-vCPU container the extra
+// workers only add handoff overhead; run via `CPU=4 scripts/bench.sh` (which
+// passes -cpu=4) for the speedup rows — aggregates are bit-identical across
+// all of them either way (TestStoreFastReadSweepFallbacksAndWorkerIndependent).
+func BenchmarkStoreSweepWorkers(b *testing.B) {
+	const n, shards, seeds = 6, 3, 32
+	f := dist.NewFailurePattern(n)
+	s := dist.NewProcSet(1, 2, 3)
+	scripts, err := register.GenerateStoreWorkload(register.StoreWorkloadConfig{
+		N: n, S: s, Keys: 9, Shards: shards, OpsPerClient: 10, WriteRatio: 0.4, Skew: 1.4, Seed: 23,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := register.StoreSweepConfig{
+		Pattern: f, S: s,
+		Store: register.StoreConfig{
+			Keys: 9, Shards: shards, Window: 2, Piggyback: true,
+			AdaptiveWindow: true, MaxWindow: 6, StallSteps: 8,
+			Retransmit: true, RTO: 16, FastReads: true,
+		},
+		Scripts: scripts,
+		Faults: &sim.FaultPlan{
+			Seed: 99, Loss: 0.05, Dup: 0.05, MaxDelay: 3,
+			Partitions: []dist.Partition{
+				{A: dist.NewProcSet(1, 4), B: dist.NewProcSet(2, 5), From: 40, Until: 160},
+			},
+		},
+		StallLimit: 5000,
+		Seeds:      seeds,
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			c := cfg
+			c.Workers = w
+			var runs, steps, msgs, fast int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.SeedStart = int64(i) * seeds
+				res, err := register.StoreSweep(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failures > 0 {
+					b.Fatalf("seed %d: %v", res.FirstFailSeed, res.FirstFailErr)
+				}
+				runs += res.Runs
+				steps += res.Steps.Sum
+				msgs += res.Msgs.Sum
+				fast += res.FastReads.Sum
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/sec")
+			b.ReportMetric(float64(fast)/float64(runs), "fastreads/run")
 			reportRun(b, steps, msgs)
 		})
 	}

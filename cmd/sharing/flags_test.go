@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"os"
 	"strings"
 	"testing"
 
@@ -240,6 +242,48 @@ func TestParsePartition(t *testing.T) {
 		if _, err := parsePartition(m, tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("spec %q: got %v, want error containing %q", tc.spec, err, tc.want)
 		}
+	}
+}
+
+// TestStoreFastReadFlagRoundTrip drives the full store subcommand and checks
+// -fastread round-trips into the engine and back out: the on run prints the
+// fast-read counter line with a nonzero one-phase count, the off run prints
+// no such line, and both verify. There is no rejected combination — the
+// elision rule only fires on provably-confirmed quorums, so no other flag is
+// silently defeated (the composed cases live in TestSubcommandsSucceed).
+func TestStoreFastReadFlagRoundTrip(t *testing.T) {
+	capture := func(args ...string) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runErr := run(args)
+		w.Close()
+		os.Stdout = old
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if runErr != nil {
+			t.Fatalf("%v: %v\n%s", args, runErr, out)
+		}
+		return string(out)
+	}
+	base := []string{"store", "-n", "5", "-keys", "8", "-shards", "2", "-clients", "2",
+		"-window", "2", "-ops", "8", "-seeds", "3", "-write", "0.2"}
+	on := capture(append(base, "-fastread")...)
+	if !strings.Contains(on, "fastreads:") {
+		t.Fatalf("-fastread run must print the fast-read counters:\n%s", on)
+	}
+	if strings.Contains(on, "fastreads: 0 one-phase") {
+		t.Fatalf("read-heavy failure-free run elided no write-backs:\n%s", on)
+	}
+	off := capture(base...)
+	if strings.Contains(off, "fastreads:") {
+		t.Fatalf("two-phase run must not print fast-read counters:\n%s", off)
 	}
 }
 

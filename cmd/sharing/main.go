@@ -94,7 +94,7 @@ subcommands:
                   -adaptive -maxwindow 16 -stall 16
                   -loss 0.05 -dup 0.05 -delay 3 -faultseed 7 -partition "1:2@20-60"
                   -retransmit -rto 32 -maxrto 256 -stalllimit 20000
-                  -openloop -rate 0.25 -coalesce 2
+                  -openloop -rate 0.25 -coalesce 2 -fastread
   consensus       -n 5 -seed 1 -crash "5"
   counterexample  lemma7|lemma11|lemma15|tightness  [-n 5 -k 2 -seed 1]
   emulate         fig3|fig5|fig6  [-n 5 -seed 1]
@@ -458,6 +458,7 @@ func cmdStore(args []string) error {
 	openLoop := fs.Bool("openloop", false, "open-loop clients: ops become eligible on a jittered seeded arrival schedule instead of on window refill, and latency is measured from arrival (queueing delay included)")
 	rate := fs.Float64("rate", 0, "open-loop offered load in ops per client step; the mean inter-arrival gap is round(1/rate) (0 = back-to-back arrivals; requires -openloop)")
 	coalesce := fs.Int("coalesce", 0, "bounded-delay cross-step coalescing: park an under-filled batch/frame up to this many steps to merge same-destination traffic (0 = off)")
+	fastRead := fs.Bool("fastread", false, "one-phase fast reads: elide the write-back round when the phase-1 quorum is unanimous or its max timestamp is already confirmed at a quorum (composes with every other flag; off = wire-identical to two-phase)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -479,7 +480,7 @@ func cmdStore(args []string) error {
 		AdaptiveWindow: *adaptive, MaxWindow: *maxWindow, StallSteps: *stall,
 		Retransmit: *retransmit, RTO: *rto, MaxRTO: *maxRTO,
 		OpenLoop: *openLoop, ArrivalGap: gap, ArrivalJitter: *openLoop,
-		CoalesceDelay: *coalesce,
+		CoalesceDelay: *coalesce, FastReads: *fastRead,
 	}
 	if *openLoop {
 		storeCfg.ArrivalSeed = *wseed // decorrelate arrivals from the scheduler seeds
@@ -593,6 +594,19 @@ func cmdStore(args []string) error {
 		// queueing delay under overload is part of the tail.
 		fmt.Printf("  lat:   p50=%d p99=%d p99.9=%d steps | %s\n",
 			res.Lat.Quantile(0.50), res.Lat.Quantile(0.99), res.Lat.Quantile(0.999), res.Lat.String())
+	}
+	if res.LatFaulted.Count > 0 {
+		// The fault-exposure split: an op is faulted once it pays at least
+		// one retransmit (parked-behind-a-partition ops always do), so the
+		// clean percentiles show what fault-free ops pay on a faulty network.
+		fmt.Printf("  lat/clean:   p50=%d p99=%d steps (%d ops)\n",
+			res.LatClean.Quantile(0.50), res.LatClean.Quantile(0.99), res.LatClean.Count)
+		fmt.Printf("  lat/faulted: p50=%d p99=%d steps (%d ops)\n",
+			res.LatFaulted.Quantile(0.50), res.LatFaulted.Quantile(0.99), res.LatFaulted.Count)
+	}
+	if *fastRead {
+		fmt.Printf("  fastreads: %d one-phase reads, %d write-back fallbacks across %d runs\n",
+			res.FastReads.Sum, res.Fallbacks.Sum, res.Runs)
 	}
 	passed := res.Runs - res.Failures // completion is only guaranteed for runs that passed verification
 	fmt.Printf("  %d completed ops in %v (%.0f ops/sec, %.0f runs/sec)\n",

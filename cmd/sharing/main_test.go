@@ -26,6 +26,12 @@ func TestSubcommandsSucceed(t *testing.T) {
 		{"store", "-n", "6", "-keys", "8", "-shards", "2", "-clients", "2", "-window", "4", "-ops", "8", "-seeds", "3",
 			"-piggyback", "-openloop", "-rate", "0.5", "-coalesce", "2"},
 		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "2", "-coalesce", "4"},
+		{"store", "-n", "5", "-keys", "8", "-shards", "2", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "3", "-fastread"},
+		{"store", "-n", "6", "-keys", "9", "-shards", "3", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "2",
+			"-fastread", "-piggyback", "-adaptive", "-maxwindow", "6", "-stall", "8", "-crashshard", "2@30"},
+		{"store", "-n", "6", "-keys", "9", "-shards", "3", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "2",
+			"-fastread", "-retransmit", "-rto", "16", "-loss", "0.05", "-partition", "1:2@20-80", "-stalllimit", "5000"},
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "2", "-fastread", "-nobatch"},
 		{"consensus", "-n", "4"},
 		{"counterexample", "lemma7", "-n", "4"},
 		{"counterexample", "lemma11", "-n", "5", "-k", "2"},

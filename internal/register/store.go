@@ -56,12 +56,21 @@ type (
 	queryEntry struct {
 		Key int
 		RID int64
+		// CTS piggybacks the client's confirmed timestamp for Key — the
+		// highest ts it knows reached a full quorum (FastReads only; zero
+		// otherwise). Appended last so the FastReads-off wire rendering
+		// keeps its pre-fast-read prefix.
+		CTS Timestamp
 	}
 	queryRepEntry struct {
 		Key int
 		RID int64
 		TS  Timestamp
 		V   Value
+		// CTS piggybacks the replica's per-key confirmed timestamp
+		// (FastReads only; zero otherwise). Invariant: CTS ≤ TS at the
+		// answering replica.
+		CTS Timestamp
 	}
 	storeEntry struct {
 		Key int
@@ -333,6 +342,24 @@ type StoreConfig struct {
 	// bit-identical to a build without coalescing; rejected together with
 	// DisableBatching (one entry per message leaves nothing to merge).
 	CoalesceDelay int
+	// FastReads enables the one-phase ABD read optimization: a read whose
+	// phase-1 quorum replies unanimously with one timestamp completes
+	// immediately — the value is provably already stored at that quorum,
+	// so the write-back round is pure waste and is elided. Additionally
+	// every replica tracks a per-key *confirmed* timestamp — the highest
+	// ts known to have reached a full quorum — piggybacked at zero
+	// marginal cost on the existing query/query-reply entries (the CTS
+	// fields), so a non-unanimous quorum whose maximum ts is already
+	// confirmed also elides the write-back. Confirmation originates only
+	// at clients (a completed phase 2, or a unanimous fast read) — never
+	// at a replica merely receiving a store request, which may be a
+	// crashed writer's partial phase 2 that no quorum holds. Reads that
+	// cannot elide fall back to the standard write-back unchanged (timers
+	// and latency origins intact). Off, the wire traffic is byte-identical
+	// to a build without the feature; on, it composes with batching,
+	// piggybacking, coalescing, retransmission and fault injection, so no
+	// combination is rejected.
+	FastReads bool
 }
 
 func (c StoreConfig) window() int {
@@ -495,6 +522,22 @@ type storeOp struct {
 	best    Timestamp
 	bestVal Value
 
+	// Fast-read quorum tracking (FastReads only): sawReply marks that at
+	// least one phase-1 reply (including the local self-answer) was
+	// credited, diverged that two credited replies carried different
+	// timestamps, and bestConf the highest confirmed ts piggybacked on the
+	// replies. The replica invariant conf ≤ ts gives bestConf ≤ best, so
+	// "the maximum ts is confirmed" is exactly bestConf == best.
+	sawReply bool
+	diverged bool
+	bestConf Timestamp
+
+	// faulted marks an op that paid at least one retransmission — the
+	// fault-exposure tag splitting the latency histograms. Partition-parked
+	// ops keep retransmitting while parked (RTO ≪ partition spans), so this
+	// subsumes "parked behind a partition".
+	faulted bool
+
 	// Retransmission timer (Retransmit only): the client step the current
 	// phase's request was last sent at, and the current timeout, doubling up
 	// to MaxRTO. Both reset on phase transition.
@@ -540,6 +583,14 @@ type StoreNode struct {
 	ts  [][]Timestamp
 	val [][]Value
 
+	// Confirmed timestamps (FastReads only, else nil): conf mirrors ts's
+	// sparse shape — per owned key, the highest ts this replica knows to
+	// have reached a full quorum, invariant conf ≤ ts — and confClient is
+	// the client-side equivalent, dense over every key, piggybacked on
+	// outgoing queries (queryEntry.CTS).
+	conf       [][]Timestamp
+	confClient []Timestamp
+
 	// Client state: the script split into per-shard FIFO queues (script
 	// order within each shard, which keys make per-key program order), one
 	// window controller per shard.
@@ -557,7 +608,7 @@ type StoreNode struct {
 	maxWin   int
 	stall    int
 	doneMask ShardSet // shards that completed an op this client step
-	load     []int  // outstanding ops per shard, maintained on start/complete
+	load     []int    // outstanding ops per shard, maintained on start/complete
 
 	// Retransmission state (Retransmit only): the client's own step clock
 	// (ticks once per Step of this node), the cached initial/cap timeouts,
@@ -594,7 +645,15 @@ type StoreNode struct {
 	// Per-op latency observations in the client's own steps, one per
 	// completed op, recorded in the pend slots (not via trace op-records,
 	// which untraced runs mute) and drained by sweeps through LatencyHist.
-	lat sweep.Hist
+	// latClean/latFaulted split lat exactly by the op.faulted tag, so
+	// fault-exposed tails never hide inside the blended histogram.
+	// fastReads counts one-phase read completions, fallbacks the reads
+	// that wrote back despite FastReads.
+	lat        sweep.Hist
+	latClean   sweep.Hist
+	latFaulted sweep.Hist
+	fastReads  int64
+	fallbacks  int64
 
 	// Bounded-delay coalescing state (see initCoalesce; armed only when
 	// CoalesceDelay > 0): clock is the node's scheduled-step count — it
@@ -648,11 +707,17 @@ func newStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, m *S
 		qOut:   make([][]queryEntry, m.Shards()),
 		sOut:   make([][]storeEntry, m.Shards()),
 	}
+	if cfg.FastReads {
+		a.conf = make([][]Timestamp, m.Shards())
+	}
 	for sh := 0; sh < m.Shards(); sh++ {
 		a.win[sh].cur = cfg.window()
 		if m.Owns(self, sh) {
 			a.ts[sh] = make([]Timestamp, m.KeysIn(sh))
 			a.val[sh] = make([]Value, m.KeysIn(sh))
+			if cfg.FastReads {
+				a.conf[sh] = make([]Timestamp, m.KeysIn(sh))
+			}
 		}
 	}
 	if cfg.Piggyback {
@@ -668,6 +733,9 @@ func newStoreNode(self dist.ProcID, n int, s dist.ProcSet, cfg StoreConfig, m *S
 		a.repS = make([]storeRepEntry, 0, winCap*m.Shards())
 	}
 	if s.Contains(self) {
+		if cfg.FastReads {
+			a.confClient = make([]Timestamp, m.Keys())
+		}
 		// Client buffers at their window-bound high-water marks: growing
 		// them per run would make per-run allocations scale with how full
 		// the windows get, i.e. with script length.
@@ -827,6 +895,21 @@ func (a *StoreNode) ScriptedOps() int { return a.scriptLen }
 // across worker counts.
 func (a *StoreNode) LatencyHist() *sweep.Hist { return &a.lat }
 
+// CleanLatencyHist and FaultedLatencyHist split the per-op latency
+// observations by fault exposure: an op that paid at least one
+// retransmission (which subsumes parking behind a partition — parked ops
+// keep retransmitting) lands in the faulted histogram, every other op in
+// the clean one. Together they partition LatencyHist exactly.
+func (a *StoreNode) CleanLatencyHist() *sweep.Hist   { return &a.latClean }
+func (a *StoreNode) FaultedLatencyHist() *sweep.Hist { return &a.latFaulted }
+
+// FastReads returns the number of reads this client completed in one phase
+// with the write-back elided; ReadFallbacks the reads that fell back to the
+// full two-phase protocol despite StoreConfig.FastReads. Both are zero with
+// the feature off.
+func (a *StoreNode) FastReads() int64     { return a.fastReads }
+func (a *StoreNode) ReadFallbacks() int64 { return a.fallbacks }
+
 // Shards returns the shard map the node routes by.
 func (a *StoreNode) Shards() *ShardMap { return a.shards }
 
@@ -837,11 +920,15 @@ func (a *StoreNode) WindowOf(sh int) int { return a.winFor(sh) }
 // ReplicaStateBytes returns the bytes of per-key replica state this node
 // allocates — the E19 metric: with the key space fixed, sharding shrinks it
 // by the shard count, because a process only replicates its own shards.
+// FastReads adds the per-key confirmed timestamp only when enabled.
 func (a *StoreNode) ReplicaStateBytes() int {
 	const perKey = int(unsafe.Sizeof(Timestamp{}) + unsafe.Sizeof(Value(0)))
 	total := 0
 	for sh := range a.ts {
 		total += len(a.ts[sh]) * perKey
+	}
+	for sh := range a.conf {
+		total += len(a.conf[sh]) * int(unsafe.Sizeof(Timestamp{}))
 	}
 	return total
 }
@@ -927,7 +1014,7 @@ func (a *StoreNode) serveQueries(e *sim.Env, entries []queryEntry, from dist.Pro
 			if !ok {
 				continue // misrouted: not this node's shard
 			}
-			a.repQ = append(a.repQ, queryRepEntry{Key: q.Key, RID: q.RID, TS: a.ts[sh][loc], V: a.val[sh][loc]})
+			a.repQ = append(a.repQ, a.answerQuery(q, sh, loc))
 			a.repDst = from
 		}
 		return
@@ -941,7 +1028,7 @@ func (a *StoreNode) serveQueries(e *sim.Env, entries []queryEntry, from dist.Pro
 		if b == nil {
 			b = a.pool.getQRep()
 		}
-		b.E = append(b.E, queryRepEntry{Key: q.Key, RID: q.RID, TS: a.ts[sh][loc], V: a.val[sh][loc]})
+		b.E = append(b.E, a.answerQuery(q, sh, loc))
 		if a.cfg.DisableBatching {
 			b.refs = 1
 			e.Send(from, b)
@@ -952,6 +1039,23 @@ func (a *StoreNode) serveQueries(e *sim.Env, entries []queryEntry, from dist.Pro
 		b.refs = 1
 		e.Send(from, b)
 	}
+}
+
+// answerQuery builds the reply to one located query entry and, with
+// FastReads, merges the query's piggybacked confirmation into the replica's
+// confirmed timestamp. The merge is gated on CTS ≤ own ts: a confirmation
+// may only be adopted by a replica that actually stores (at least) that
+// write, which is what keeps the conf ≤ ts invariant — and with it the
+// elision rule's safety — intact under any delivery order.
+func (a *StoreNode) answerQuery(q queryEntry, sh, loc int) queryRepEntry {
+	rep := queryRepEntry{Key: q.Key, RID: q.RID, TS: a.ts[sh][loc], V: a.val[sh][loc]}
+	if a.cfg.FastReads {
+		if a.conf[sh][loc].Less(q.CTS) && !a.ts[sh][loc].Less(q.CTS) {
+			a.conf[sh][loc] = q.CTS
+		}
+		rep.CTS = a.conf[sh][loc]
+	}
+	return rep
 }
 
 // serveStores applies a batch of store (phase-2) requests to the replica
@@ -1001,6 +1105,15 @@ func (a *StoreNode) serveStores(e *sim.Env, entries []storeEntry, from dist.Proc
 func (a *StoreNode) absorbQueryReps(entries []queryRepEntry, from dist.ProcID) {
 	for _, rep := range entries {
 		if op := a.lookup(rep.Key, rep.RID, 1); op != nil {
+			if a.cfg.FastReads {
+				if op.sawReply && rep.TS != op.best {
+					op.diverged = true // two credited replies disagree
+				}
+				op.sawReply = true
+				if op.bestConf.Less(rep.CTS) {
+					op.bestConf = rep.CTS
+				}
+			}
 			op.acks = op.acks.Add(from)
 			if op.best.Less(rep.TS) {
 				op.best, op.bestVal = rep.TS, rep.V
@@ -1132,9 +1245,14 @@ func (a *StoreNode) retransmit() {
 			op.rto = a.maxRTO
 		}
 		a.retransmits++
+		op.faulted = true
 		switch op.phase {
 		case 1:
-			a.qOut[op.shard] = append(a.qOut[op.shard], queryEntry{Key: op.key, RID: op.rid})
+			q := queryEntry{Key: op.key, RID: op.rid}
+			if a.cfg.FastReads {
+				q.CTS = a.confClient[op.key]
+			}
+			a.qOut[op.shard] = append(a.qOut[op.shard], q)
 		case 2:
 			a.sOut[op.shard] = append(a.sOut[op.shard], storeEntry{Key: op.key, RID: op.rid, TS: op.best, V: op.bestVal})
 		}
@@ -1217,6 +1335,20 @@ func (a *StoreNode) advance(e *sim.Env) {
 		}
 		switch op.phase {
 		case 1:
+			if a.fastReadEligible(&op) {
+				// One-phase fast read: every credited reply carried op.best
+				// (unanimous — the value is stored at this very quorum), or
+				// the maximum ts is ≤ a quorum-confirmed ts (conf ≤ ts makes
+				// that exactly bestConf == best). Either way the read's
+				// value provably rests at a quorum and the write-back round
+				// is elided.
+				a.fastReads++
+				a.finish(e, &op)
+				continue
+			}
+			if a.cfg.FastReads && op.kind == ReadOp {
+				a.fallbacks++
+			}
 			var st Timestamp
 			var v Value
 			if op.kind == WriteOp {
@@ -1242,21 +1374,61 @@ func (a *StoreNode) advance(e *sim.Env) {
 			a.sOut[op.shard] = append(a.sOut[op.shard], storeEntry{Key: op.key, RID: op.rid, TS: st, V: v})
 			kept = append(kept, op)
 		case 2:
-			if e.OpsRecorded() {
-				desc := KeyedOpDesc{Key: op.key, Kind: op.kind, Arg: op.arg}
-				if op.kind == ReadOp {
-					desc.Ret = op.bestVal
-				}
-				e.Return(op.seq, desc)
-			}
-			a.lat.Observe(a.steps - op.invoke)
-			a.completed++
-			a.load[op.shard]--
-			a.noteCompletion(op.shard)
+			a.finish(e, &op)
 			// Completed: dropped from the pending window.
 		}
 	}
 	a.pend = kept
+}
+
+// fastReadEligible reports whether a phase-1 read whose quorum just
+// completed may finish without the write-back round: its credited replies
+// were unanimous, or their maximum timestamp is already confirmed at a
+// quorum.
+func (a *StoreNode) fastReadEligible(op *storeOp) bool {
+	return a.cfg.FastReads && op.kind == ReadOp && (!op.diverged || op.bestConf == op.best)
+}
+
+// finish retires one completed op: the Return record (traced runs only),
+// the latency observations (total plus the clean/faulted fault-exposure
+// split), the window bookkeeping, and — with FastReads — confirmation of
+// op.best, which this completion just proved is stored at a quorum.
+func (a *StoreNode) finish(e *sim.Env, op *storeOp) {
+	if e.OpsRecorded() {
+		desc := KeyedOpDesc{Key: op.key, Kind: op.kind, Arg: op.arg}
+		if op.kind == ReadOp {
+			desc.Ret = op.bestVal
+		}
+		e.Return(op.seq, desc)
+	}
+	d := a.steps - op.invoke
+	a.lat.Observe(d)
+	if op.faulted {
+		a.latFaulted.Observe(d)
+	} else {
+		a.latClean.Observe(d)
+	}
+	a.completed++
+	a.load[op.shard]--
+	a.noteCompletion(op.shard)
+	if a.cfg.FastReads {
+		a.noteConfirmed(op.key, op.best)
+	}
+}
+
+// noteConfirmed records that ts is stored at a quorum of key's group: the
+// client remembers it for piggybacking on its next queries of the key, and
+// the local replica — when it owns the key and already stores at least ts —
+// adopts it directly. The ts gate preserves the conf ≤ ts invariant.
+func (a *StoreNode) noteConfirmed(key int, ts Timestamp) {
+	if a.confClient[key].Less(ts) {
+		a.confClient[key] = ts
+	}
+	if sh, loc, owned := a.locate(key); owned {
+		if a.conf[sh][loc].Less(ts) && !a.ts[sh][loc].Less(ts) {
+			a.conf[sh][loc] = ts
+		}
+	}
 }
 
 // start fills each shard's pipelining window: scripted ops begin strictly
@@ -1305,10 +1477,20 @@ func (a *StoreNode) start(e *sim.Env) {
 			if s, loc, owned := a.locate(op.Key); owned {
 				pend.acks = dist.NewProcSet(a.self)
 				pend.best, pend.bestVal = a.ts[s][loc], a.val[s][loc]
+				if a.cfg.FastReads {
+					// The local self-answer is the op's first credited
+					// reply; it carries the local confirmed ts.
+					pend.sawReply = true
+					pend.bestConf = a.conf[s][loc]
+				}
 			}
 			a.pend = append(a.pend, pend)
 			a.load[sh]++
-			a.qOut[sh] = append(a.qOut[sh], queryEntry{Key: op.Key, RID: a.rid})
+			q := queryEntry{Key: op.Key, RID: a.rid}
+			if a.cfg.FastReads {
+				q.CTS = a.confClient[op.Key]
+			}
+			a.qOut[sh] = append(a.qOut[sh], q)
 		}
 	}
 }

@@ -103,6 +103,11 @@ func TestStoreAllocsPerStep(t *testing.T) {
 			CoalesceDelay: 2, OpenLoop: true, ArrivalGap: 3, ArrivalJitter: true,
 			Retransmit: true, RTO: 16,
 		}, faults},
+		{"fastread", StoreConfig{
+			Keys: 12, Shards: 4, Window: 8, Piggyback: true,
+			CoalesceDelay: 2, OpenLoop: true, ArrivalGap: 3, ArrivalJitter: true,
+			Retransmit: true, RTO: 16, FastReads: true,
+		}, faults},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			short := storeAllocRunner(t, tc.cfg, 6, tc.fp)

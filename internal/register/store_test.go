@@ -295,6 +295,17 @@ func TestStoreConfigValidate(t *testing.T) {
 		"adaptive defaults":   {Keys: 4, Window: 2, AdaptiveWindow: true},
 		"adaptive configured": {Keys: 4, Window: 2, AdaptiveWindow: true, MaxWindow: 8, StallSteps: 10},
 		"adaptive max=window": {Keys: 4, Window: 2, AdaptiveWindow: true, MaxWindow: 2},
+		"fastread":            {Keys: 4, Shards: 2, Window: 3, FastReads: true},
+		// Fast reads compose with every other feature (the elision rule only
+		// fires on provably-confirmed quorums, so nothing is silently
+		// defeated) — no combination is rejected.
+		"fastread full stack": {
+			Keys: 4, Shards: 2, Window: 3, Piggyback: true, FastReads: true,
+			AdaptiveWindow: true, MaxWindow: 8, StallSteps: 10,
+			CoalesceDelay: 2, OpenLoop: true, ArrivalGap: 3, ArrivalJitter: true,
+			Retransmit: true, RTO: 16,
+		},
+		"fastread unbatched": {Keys: 4, Window: 2, DisableBatching: true, FastReads: true},
 	} {
 		if err := cfg.Validate(5); err != nil {
 			t.Fatalf("%s: valid config rejected: %v", name, err)

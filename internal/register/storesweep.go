@@ -139,15 +139,25 @@ func StoreSweep(cfg StoreSweepConfig) (*sweep.Result, error) {
 		Check: func(seed int64, res *sim.Result) error {
 			return VerifyStoreRunReach(res, correct, masks)
 		},
-		// Per-op latency: every client node's histogram merges exactly into
-		// the sweep aggregate, so p50/p99/p99.9 are bit-identical for every
-		// worker count like the rest of the verdicts.
-		Latency: func(res *sim.Result, lat *sweep.Hist) {
+		// Per-op latency (total plus the clean/faulted fault-exposure split)
+		// merges exactly from every client node into the sweep aggregate,
+		// and the run's fast-read/fallback totals land as one observation
+		// per run, so every aggregate — percentiles included — is
+		// bit-identical for every worker count like the rest of the
+		// verdicts.
+		Collect: func(res *sim.Result, r *sweep.Result) {
+			var fast, fall int64
 			for _, a := range res.Automata {
 				if node, ok := a.(*StoreNode); ok {
-					lat.Merge(node.LatencyHist())
+					r.Lat.Merge(node.LatencyHist())
+					r.LatClean.Merge(node.CleanLatencyHist())
+					r.LatFaulted.Merge(node.FaultedLatencyHist())
+					fast += node.FastReads()
+					fall += node.ReadFallbacks()
 				}
 			}
+			r.FastReads.Observe(fast)
+			r.Fallbacks.Observe(fall)
 		},
 	})
 }

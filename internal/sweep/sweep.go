@@ -45,14 +45,16 @@ type Config struct {
 	// for concurrent use (pure functions of their arguments are; closures
 	// mutating shared state are not).
 	Check func(seed int64, res *sim.Result) error
-	// Latency, when non-nil, folds a passing run's per-operation latency
-	// observations into lat (which aggregates into Result.Lat). Unlike the
-	// built-in histograms — one observation per run — Lat holds one
-	// observation per operation, extracted from the run's automata. Called
-	// once per passing run, concurrently from every worker goroutine, each
-	// on its own lat shard; it must only read res and write lat. Hist.Merge
-	// is exact, so the aggregate stays bit-identical across worker counts.
-	Latency func(res *sim.Result, lat *Hist)
+	// Collect, when non-nil, folds a passing run's domain-specific
+	// observations — per-operation latency histograms (Result.Lat and its
+	// clean/faulted fault-exposure split), fast-read/fallback counters —
+	// into the worker's Result shard. Called once per passing run,
+	// concurrently from every worker goroutine, each on its own shard; it
+	// must only read res and write r's histogram fields. Hist.Merge and
+	// Observe are exact and order-independent (each run's observations are
+	// a pure function of its seed), so the aggregate stays bit-identical
+	// across worker counts.
+	Collect func(res *sim.Result, r *Result)
 }
 
 // Hist is a power-of-two histogram of a per-run counter.
@@ -209,9 +211,20 @@ type Result struct {
 	Dropped    Hist
 	Duplicated Hist
 	// Lat aggregates per-operation latency observations across passing runs
-	// (empty unless Config.Latency is set): one observation per completed
+	// (empty unless Config.Collect fills it): one observation per completed
 	// operation, so Lat.Quantile reads off p50/p99/p99.9 tails directly.
-	Lat Hist
+	// LatClean and LatFaulted split Lat by fault exposure — ops that paid
+	// at least one retransmission (or parked behind a partition, which
+	// makes them retransmit) versus ops that ran clean — so fault-induced
+	// tails are visible instead of blended.
+	Lat        Hist
+	LatClean   Hist
+	LatFaulted Hist
+	// FastReads and Fallbacks hold one observation per passing run — the
+	// run's total one-phase read completions and write-back fallbacks —
+	// when Config.Collect fills them (all-zero otherwise).
+	FastReads Hist
+	Fallbacks Hist
 }
 
 // DecidedRate is the fraction of all runs in which every correct process
@@ -237,6 +250,14 @@ func (r *Result) String() string {
 	if r.Lat.Count > 0 {
 		fmt.Fprintf(&b, "\n  lat:   p50=%d p99=%d p99.9=%d | %s",
 			r.Lat.Quantile(0.50), r.Lat.Quantile(0.99), r.Lat.Quantile(0.999), r.Lat.String())
+	}
+	if r.LatFaulted.Count > 0 {
+		fmt.Fprintf(&b, "\n  lat/clean:   p50=%d p99=%d (%d ops)\n  lat/faulted: p50=%d p99=%d (%d ops)",
+			r.LatClean.Quantile(0.50), r.LatClean.Quantile(0.99), r.LatClean.Count,
+			r.LatFaulted.Quantile(0.50), r.LatFaulted.Quantile(0.99), r.LatFaulted.Count)
+	}
+	if r.FastReads.Sum > 0 || r.Fallbacks.Sum > 0 {
+		fmt.Fprintf(&b, "\n  fastreads: %d (fallbacks %d)", r.FastReads.Sum, r.Fallbacks.Sum)
 	}
 	return b.String()
 }
@@ -280,6 +301,10 @@ func (r *Result) merge(o *Result) {
 	r.Dropped.Merge(&o.Dropped)
 	r.Duplicated.Merge(&o.Duplicated)
 	r.Lat.Merge(&o.Lat)
+	r.LatClean.Merge(&o.LatClean)
+	r.LatFaulted.Merge(&o.LatFaulted)
+	r.FastReads.Merge(&o.FastReads)
+	r.Fallbacks.Merge(&o.Fallbacks)
 }
 
 // Run executes the sweep and returns the aggregate. The seed range is
@@ -345,8 +370,8 @@ func Run(cfg Config) (*Result, error) {
 					err = cfg.Check(seed, res)
 				}
 				j.res.observe(seed, res, j.correct, err)
-				if err == nil && cfg.Latency != nil {
-					cfg.Latency(res, &j.res.Lat)
+				if err == nil && cfg.Collect != nil {
+					cfg.Collect(res, &j.res)
 				}
 			}
 		}(j)

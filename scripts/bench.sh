@@ -6,6 +6,15 @@
 #   scripts/bench.sh Fig2            # only benchmarks matching the pattern
 #   COUNT=3 scripts/bench.sh         # fewer repetitions
 #   BENCHTIME=1x scripts/bench.sh    # one iteration per benchmark (CI smoke)
+#   CPU=4 scripts/bench.sh StoreSweepWorkers
+#                                    # GOMAXPROCS-sweep mode: run the suite at
+#                                    # GOMAXPROCS=4 (go test -cpu=4; the name
+#                                    # suffix lands in the JSON gomaxprocs
+#                                    # field). Pair with the workers=1/2/4
+#                                    # rows of BenchmarkStoreSweepWorkers for
+#                                    # multi-core speedup numbers; CPU may
+#                                    # also be a list like "1,4" to measure
+#                                    # both in one run.
 #   JSON_OUT=BENCH_PR7.json scripts/bench.sh Store
 #                                    # additionally write every benchmark row
 #                                    # as machine-readable JSON (name,
@@ -29,12 +38,16 @@ set -eu
 PATTERN="${1:-.}"
 COUNT="${COUNT:-10}"
 BENCHTIME="${BENCHTIME:-}"
+CPU="${CPU:-}"
 
 cd "$(dirname "$0")/.."
 
 set -- -run=NONE "-bench=$PATTERN" -benchmem "-count=$COUNT"
 if [ -n "$BENCHTIME" ]; then
   set -- "$@" "-benchtime=$BENCHTIME"
+fi
+if [ -n "$CPU" ]; then
+  set -- "$@" "-cpu=$CPU"
 fi
 
 if [ -z "${JSON_OUT:-}" ]; then

@@ -3,7 +3,7 @@
 # regressions.
 #
 # Usage:
-#   scripts/bench_diff.sh OLD.json NEW.json [threshold-pct]
+#   scripts/bench_diff.sh OLD.json NEW.json [threshold-pct] [msgs-threshold-pct]
 #
 # For every benchmark row present in both files, the ops_per_sec values are
 # compared; a drop of more than threshold-pct (default 20) fails the script.
@@ -11,6 +11,11 @@
 # p99 latency (a rise of more than threshold-pct fails): latencies are in
 # schedule-deterministic client steps, so at a fixed -benchtime they are
 # exactly reproducible and a tighter signal than wall clock.
+# Rows carrying msgs_per_op in both files are gated on message count with
+# the separate, much tighter msgs-threshold-pct (default 2): msgs/op is a
+# pure function of the schedule at a fixed -benchtime, so any real rise is
+# a protocol regression, not noise — and msgs/op is the headline claim of
+# the batching/piggybacking/coalescing/fast-read line of work.
 # Fault-injection and crash rows (names matching crashshard/faults/partition)
 # are reported but never gate: their throughput intentionally pays for
 # retransmission, duplicate absorption and parked-op degradation, and the
@@ -25,14 +30,15 @@
 set -eu
 
 if [ $# -lt 2 ]; then
-  echo "usage: $0 OLD.json NEW.json [threshold-pct]" >&2
+  echo "usage: $0 OLD.json NEW.json [threshold-pct] [msgs-threshold-pct]" >&2
   exit 2
 fi
 OLD="$1"
 NEW="$2"
 THRESHOLD="${3:-20}"
+MSGS_THRESHOLD="${4:-2}"
 
-awk -v threshold="$THRESHOLD" '
+awk -v threshold="$THRESHOLD" -v msgsthreshold="$MSGS_THRESHOLD" '
   # Each row is one line: {"name":"BenchmarkX/row",...,"ops_per_sec":N,...}
   function field(line, key,    rest) {
     if (!match(line, "\"" key "\":[^,}]*")) return ""
@@ -47,6 +53,7 @@ awk -v threshold="$THRESHOLD" '
     if (NR == FNR) {
       old[name] = ops
       oldp99[name] = field($0, "lat_p99_steps")
+      oldmsgs[name] = field($0, "msgs_per_op")
       next
     }
     seen[name] = 1
@@ -67,6 +74,15 @@ awk -v threshold="$THRESHOLD" '
         failed = 1
       }
     }
+    msgs = field($0, "msgs_per_op")
+    if (msgs != "" && oldmsgs[name] != "" && oldmsgs[name] + 0 > 0) {
+      dm = 100 * (msgs - oldmsgs[name]) / oldmsgs[name]
+      printf "%-5s %-45s %12.1f -> %12.1f msgs/op  (%+.1f%%)\n", gate, name, oldmsgs[name], msgs, dm
+      if (gate == "gate" && dm > msgsthreshold) {
+        printf "FAIL  %s msgs/op regressed %.1f%% (threshold %s%%)\n", name, dm, msgsthreshold
+        failed = 1
+      }
+    }
   }
   END {
     for (name in old) {
@@ -76,6 +92,6 @@ awk -v threshold="$THRESHOLD" '
       }
     }
     if (failed) exit 1
-    print "bench diff ok: no failure-free row regressed more than " threshold "% (ops/sec or p99)"
+    print "bench diff ok: no failure-free row regressed more than " threshold "% (ops/sec or p99) or " msgsthreshold "% (msgs/op)"
   }
 ' "$OLD" "$NEW"
