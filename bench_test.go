@@ -436,6 +436,11 @@ func BenchmarkABDRegister(b *testing.B) {
 // the write-back fallback and the clean/faulted latency split prices it;
 // E33 is fast reads at the E29 scale point (n=128, 16 shard groups) under
 // the same faults.
+// E35 is the crash-recovery row: replica p5 crashes at t=40, loses its
+// volatile state, and rejoins at t=120 as a learner under the shared
+// E35–E37 adversarial network (loss + dup + delay + a one-way partition
+// healing at t=150) — every client op still completes and the recovered
+// replica repopulates purely through protocol traffic.
 func BenchmarkStore(b *testing.B) {
 	const n, keys, opsPerClient = 5, 12, 12
 	f := dist.NewFailurePattern(n)
@@ -611,6 +616,99 @@ func BenchmarkStore(b *testing.B) {
 			},
 			true)
 	})
+	// E35: replica crash + volatile-state loss + recovery under the shared
+	// E35–E37 adversarial network.
+	b.Run("faults-recovery", runStoreRecovery)
+}
+
+// sharedAdversary is the network the E35 store row and the E36/E37 consensus
+// rows all run under — the SAME sim.FaultPlan value, so msgs/op (sharing)
+// and msgs/decision (agreeing) are directly comparable on one adversary: 5%
+// loss, 5% duplication, up to 2 ticks of extra delay, and a one-way
+// partition cutting {p1,p3} off from p2 during [30, 150) before healing.
+func sharedAdversary() *sim.FaultPlan {
+	return &sim.FaultPlan{
+		Seed: 7, Loss: 0.05, Dup: 0.05, MaxDelay: 2,
+		Partitions: []dist.Partition{{
+			A: dist.NewProcSet(1, 3), B: dist.NewProcSet(2), From: 30, Until: 150, OneWay: true,
+		}},
+	}
+}
+
+// runStoreRecovery is the E35 harness: the n=6/shards=3 store (groups {1,4},
+// {2,5}, {3,6}) with replica p5 crashed at t=40 and recovered at t=120 — its
+// shard-1 timestamps, values and confirmed marks wiped — under the shared
+// adversarial network with retransmission armed. The one-way partition parks
+// shard-1 operations past the recovery, so the rejoined replica sees live
+// quorum traffic; every client op completes (the partition heals at 150) and
+// the recovered replica must have repopulated when the run stops. The
+// recovery price lands in retransmits/op and the faulted latency split.
+func runStoreRecovery(b *testing.B) {
+	const n, shards, opsPerClient = 6, 3, 10
+	f := dist.NewFailurePattern(n)
+	f.CrashAt(5, 40)
+	f.RecoverAt(5, 120)
+	s := dist.RangeSet(1, 3)
+	cfg := register.StoreConfig{
+		Keys: 12, Shards: shards, Window: 2, Piggyback: true, Retransmit: true, RTO: 16,
+	}
+	fp := sharedAdversary()
+	scripts, err := register.GenerateStoreWorkload(register.StoreWorkloadConfig{
+		N: n, S: s, Keys: cfg.Keys, Shards: shards, OpsPerClient: opsPerClient,
+		WriteRatio: -1, Skew: 1.3, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := register.TotalKeyedOps(scripts)
+	prog, err := register.StoreProgram(n, s, cfg, scripts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := newRunner(b, sim.Config{
+		Pattern: f, History: fd.NewSigmaS(f, s, 15), Program: prog,
+		Scheduler: sim.NewRandomScheduler(0), MaxSteps: 500_000, DisableTrace: true,
+		Faults: fp,
+		StopWhen: func(sn *sim.Snapshot) bool {
+			return register.StoreClientsDone(sn, s)
+		},
+	})
+	var steps, msgs, completed, retransmits, drops, dups int64
+	var lats storeLats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Reset(int64(i)).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := 0
+		for _, a := range res.Automata {
+			if node, ok := a.(*register.StoreNode); ok {
+				done += node.CompletedOps()
+				retransmits += node.Retransmits()
+			}
+		}
+		if done != total {
+			b.Fatalf("seed %d completed %d/%d ops across the recovery (%s)", i, done, total, res.Reason)
+		}
+		if got := res.Automata[4].(*register.StoreNode).ReplicaStateBytes(); got == 0 {
+			b.Fatalf("seed %d: recovered p5 holds no replica state — the wipe was never repopulated", i)
+		}
+		completed += int64(done)
+		steps += res.Steps
+		msgs += res.MessagesSent
+		drops += res.MessagesDropped
+		dups += res.MessagesDuplicated
+		lats.merge(res)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "ops/sec")
+	b.ReportMetric(float64(retransmits)/float64(completed), "retransmits/op")
+	b.ReportMetric(float64(drops)/float64(completed), "drops/op")
+	b.ReportMetric(float64(dups)/float64(completed), "dups/op")
+	reportRun(b, steps, msgs)
+	lats.report(b, completed)
 }
 
 // runStoreCrashShard is the E23 harness: shard 1's whole replica group
@@ -876,6 +974,72 @@ func BenchmarkConsensus(b *testing.B) {
 			reportRun(b, steps, msgs)
 		})
 	}
+}
+
+// BenchmarkConsensusFaults regenerates experiments E36/E37: the Ω+Σ
+// consensus baseline under the IDENTICAL adversarial network as the E35
+// store row (sharedAdversary) — the paper's title contrast priced on one
+// fault plan: agreeing pays msgs/decision once per process, sharing pays
+// msgs/op per operation, and both numbers come off the same loss, dup,
+// delay and one-way partition schedule. E36 runs the fault-free pattern
+// (all six processes must decide once the partition heals at t=150); E37
+// crashes p5 at t=40 and recovers it at t=200 with its volatile state
+// wiped, so the run ends only when the recovered process has relearned the
+// decision from the periodic decide re-broadcast.
+func BenchmarkConsensusFaults(b *testing.B) {
+	const n = 6
+	run := func(b *testing.B, f *dist.FailurePattern) {
+		props := agreement.DistinctProposals(n)
+		target := f.Correct().Union(f.Recovering())
+		r := newRunner(b, sim.Config{
+			Pattern: f, History: consensus.NewOracle(f, 25), Program: consensus.Program(props),
+			Scheduler: sim.NewRandomScheduler(0), MaxSteps: 200_000, DisableTrace: true,
+			Faults: sharedAdversary(),
+			StopWhen: func(sn *sim.Snapshot) bool {
+				return target.AllSatisfy(func(p dist.ProcID) bool {
+					_, ok := sn.Decided(p)
+					return ok
+				})
+			},
+		})
+		var steps, msgs, decisions, drops, dups int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := r.Reset(int64(i)).Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep := agreement.Check(f, 1, props, res); !rep.OK() {
+				b.Fatal(rep)
+			}
+			if len(res.Decisions) < target.Len() {
+				b.Fatalf("seed %d: %d of %d target processes decided (%s)",
+					i, len(res.Decisions), target.Len(), res.Reason)
+			}
+			decisions += int64(len(res.Decisions))
+			steps += res.Steps
+			msgs += res.MessagesSent
+			drops += res.MessagesDropped
+			dups += res.MessagesDuplicated
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(msgs)/float64(decisions), "msgs/decision")
+		b.ReportMetric(float64(drops)/float64(b.N), "drops/op")
+		b.ReportMetric(float64(dups)/float64(b.N), "dups/op")
+		reportRun(b, steps, msgs)
+	}
+	// E36: every process correct; all six decide across the faulty network.
+	b.Run("faults", func(b *testing.B) {
+		run(b, dist.NewFailurePattern(n))
+	})
+	// E37: crash + recovery — the wiped process relearns the decision.
+	b.Run("faults-recover", func(b *testing.B) {
+		f := dist.NewFailurePattern(n)
+		f.CrashAt(5, 40)
+		f.RecoverAt(5, 200)
+		run(b, f)
+	})
 }
 
 // BenchmarkAblationStackVsOracle measures what the Figure 5 emulation layer

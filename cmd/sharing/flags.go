@@ -121,39 +121,119 @@ func parseShardCrash(f *dist.FailurePattern, m *register.ShardMap, spec string) 
 	return nil
 }
 
+// parseRecover applies a -recover list to the pattern. Entries are comma-
+// separated "p@t": process p rejoins at time t with its volatile state lost.
+// It stays outside the correctness set — recovery restores liveness, not
+// correctness. Unlike -crash the time is mandatory, and every entry is
+// validated against the crash schedule already built by -crash/-crashshard:
+// a process that never crashes cannot recover, and the recovery must come
+// strictly after the crash.
+func parseRecover(f *dist.FailurePattern, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	var seen dist.ProcSet
+	for _, entry := range strings.Split(spec, ",") {
+		procPart, timePart, timed := strings.Cut(strings.TrimSpace(entry), "@")
+		if !timed {
+			return fmt.Errorf("bad -recover list %q: entry %q: want p@t (a recovery needs its time)", spec, entry)
+		}
+		p, err := strconv.Atoi(procPart)
+		if err != nil {
+			return fmt.Errorf("bad -recover list %q: entry %q: process must be a number", spec, entry)
+		}
+		if p < 1 || p > f.N() {
+			return fmt.Errorf("-recover process p%d outside 1..%d", p, f.N())
+		}
+		if seen.Contains(dist.ProcID(p)) {
+			return fmt.Errorf("bad -recover list %q: p%d appears twice (a process recovers at most once)", spec, p)
+		}
+		seen = seen.Add(dist.ProcID(p))
+		t, err := strconv.ParseInt(timePart, 10, 64)
+		if err != nil || t < 0 {
+			return fmt.Errorf("bad -recover list %q: entry %q: time must be a non-negative number", spec, entry)
+		}
+		crash := f.CrashTime(dist.ProcID(p))
+		if crash == dist.NoCrash {
+			return fmt.Errorf("-recover p%d@%d: p%d never crashes (pair it with a -crash/-crashshard entry)", p, t, p)
+		}
+		if dist.Time(t) <= crash {
+			return fmt.Errorf("-recover p%d@%d: recovery must come strictly after the crash at %d", p, t, int64(crash))
+		}
+		f.RecoverAt(dist.ProcID(p), dist.Time(t))
+	}
+	return nil
+}
+
 // parsePartition parses a -partition list into scripted partitions over the
-// shard map's replica groups. Entries are comma-separated "i:j@t1-t2": the
-// replica groups of shards i and j cannot exchange messages during [t1, t2)
-// (a client process inside either group is cut off with it; messages park
-// and deliver after the heal at t2). t2 may be "inf" for a partition that
-// never heals within the run.
+// shard map's replica groups: "i:j@t1-t2" cuts the replica groups of shards
+// i and j both ways during [t1, t2), "i>j@t1-t2" cuts only the i→j direction
+// (group j's messages still reach group i). A client process inside either
+// group is cut off with it; blocked messages park and deliver after the heal
+// at t2. t2 may be "inf" for a partition that never heals within the run.
 func parsePartition(m *register.ShardMap, spec string) ([]dist.Partition, error) {
+	return parsePartitionList(spec, "shards", func(tok string) (dist.ProcSet, error) {
+		sh, err := strconv.Atoi(tok)
+		if err != nil {
+			return dist.ProcSet{}, fmt.Errorf("shards must be numbers")
+		}
+		if sh < 0 || sh >= m.Shards() {
+			return dist.ProcSet{}, fmt.Errorf("shard %d outside 0..%d", sh, m.Shards()-1)
+		}
+		return m.Group(sh), nil
+	})
+}
+
+// parseProcPartition parses a -partition list whose sides are single
+// processes ("1:2@30-120" symmetric, "1>2@30-120" one-way) — the consensus
+// subcommand has no shard map to name replica groups with.
+func parseProcPartition(n int, spec string) ([]dist.Partition, error) {
+	return parsePartitionList(spec, "processes", func(tok string) (dist.ProcSet, error) {
+		p, err := strconv.Atoi(tok)
+		if err != nil {
+			return dist.ProcSet{}, fmt.Errorf("processes must be numbers")
+		}
+		if p < 1 || p > n {
+			return dist.ProcSet{}, fmt.Errorf("process p%d outside 1..%d", p, n)
+		}
+		return dist.NewProcSet(dist.ProcID(p)), nil
+	})
+}
+
+// parsePartitionList is the shared -partition grammar: comma-separated
+// entries "a:b@t1-t2" (symmetric) or "a>b@t1-t2" (one-way, blocking only the
+// a→b direction), sides resolved by the caller — shard replica groups for
+// the store, single processes for consensus.
+func parsePartitionList(spec, noun string, side func(tok string) (dist.ProcSet, error)) ([]dist.Partition, error) {
 	if spec == "" {
 		return nil, nil
 	}
 	var out []dist.Partition
 	for _, entry := range strings.Split(spec, ",") {
 		entry = strings.TrimSpace(entry)
-		shardsPart, window, ok := strings.Cut(entry, "@")
+		sidesPart, window, ok := strings.Cut(entry, "@")
 		if !ok {
-			return nil, fmt.Errorf("bad -partition entry %q: want i:j@t1-t2", entry)
+			return nil, fmt.Errorf("bad -partition entry %q: want i:j@t1-t2 (or i>j@t1-t2 one-way)", entry)
 		}
-		iPart, jPart, ok := strings.Cut(shardsPart, ":")
+		oneWay := false
+		aPart, bPart, ok := strings.Cut(sidesPart, ":")
 		if !ok {
-			return nil, fmt.Errorf("bad -partition entry %q: want two shards i:j before the @", entry)
+			aPart, bPart, ok = strings.Cut(sidesPart, ">")
+			oneWay = true
 		}
-		i, err1 := strconv.Atoi(iPart)
-		j, err2 := strconv.Atoi(jPart)
-		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("bad -partition entry %q: shards must be numbers", entry)
+		if !ok {
+			return nil, fmt.Errorf("bad -partition entry %q: want two %s i:j (symmetric) or i>j (one-way) before the @", entry, noun)
 		}
-		for _, sh := range []int{i, j} {
-			if sh < 0 || sh >= m.Shards() {
-				return nil, fmt.Errorf("-partition shard %d outside 0..%d", sh, m.Shards()-1)
-			}
+		a, err := side(aPart)
+		if err != nil {
+			return nil, fmt.Errorf("bad -partition entry %q: %v", entry, err)
 		}
-		if i == j {
-			return nil, fmt.Errorf("bad -partition entry %q: cannot partition shard %d from itself", entry, i)
+		b, err := side(bPart)
+		if err != nil {
+			return nil, fmt.Errorf("bad -partition entry %q: %v", entry, err)
+		}
+		if !a.Intersect(b).IsEmpty() {
+			return nil, fmt.Errorf("bad -partition entry %q: cannot cut %q from itself (the sides overlap)", entry, aPart)
 		}
 		fromPart, untilPart, ok := strings.Cut(window, "-")
 		if !ok {
@@ -171,8 +251,8 @@ func parsePartition(m *register.ShardMap, spec string) ([]dist.Partition, error)
 			}
 		}
 		out = append(out, dist.Partition{
-			A: m.Group(i), B: m.Group(j),
-			From: dist.Time(from), Until: dist.Time(until),
+			A: a, B: b,
+			From: dist.Time(from), Until: dist.Time(until), OneWay: oneWay,
 		})
 	}
 	return out, nil

@@ -245,6 +245,151 @@ func TestParsePartition(t *testing.T) {
 	}
 }
 
+// TestParseRecover pins the paired validation against the crash schedule: a
+// recovery needs a prior -crash/-crashshard entry strictly before its time,
+// an explicit time of its own, and at most one entry per process.
+func TestParseRecover(t *testing.T) {
+	newF := func() *dist.FailurePattern {
+		f := dist.NewFailurePattern(5)
+		if err := parseCrash(f, "3@40,4"); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	f := newF()
+	if err := parseRecover(f, ""); err != nil {
+		t.Fatalf("empty spec must be a no-op: %v", err)
+	}
+	if f.HasRecoveries() {
+		t.Fatal("empty spec registered a recovery")
+	}
+	if err := parseRecover(f, " 3@120 , 4@5 "); err != nil {
+		t.Fatalf("spaces around entries must be accepted: %v", err)
+	}
+	if f.RecoverTime(3) != 120 || f.RecoverTime(4) != 5 {
+		t.Fatalf("recovery times %d/%d, want 120/5",
+			int64(f.RecoverTime(3)), int64(f.RecoverTime(4)))
+	}
+	// Recovery restores liveness, never correctness.
+	if f.Correct().Contains(3) || !f.Alive(3, 200) {
+		t.Fatalf("recovered p3: correct=%v alive(200)=%v, want false/true",
+			f.Correct().Contains(3), f.Alive(3, 200))
+	}
+
+	for _, tc := range []struct {
+		spec string
+		want string
+	}{
+		{"3", "needs its time"},
+		{"3@", "non-negative"},
+		{"x@50", "must be a number"},
+		{"3@x", "non-negative"},
+		{"3@-1", "non-negative"},
+		{"0@50", "outside 1..5"},
+		{"6@50", "outside 1..5"},
+		{"1@50", "never crashes"},  // p1 is correct
+		{"3@40", "strictly after"}, // at the crash
+		{"3@39", "strictly after"}, // before the crash
+		{"3@0", "strictly after"},
+		{"3@120,3@200", "twice"},
+	} {
+		if err := parseRecover(newF(), tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %q: got %v, want error containing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// TestParsePartitionOneWay pins the asymmetric syntax on the shard grammar:
+// "i>j" yields a OneWay partition from i's replica group to j's, composing
+// with the symmetric form in one comma list.
+func TestParsePartitionOneWay(t *testing.T) {
+	m, err := register.NewShardMap(6, 6, 3) // groups {1,4} {2,5} {3,6}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pts, err := parsePartition(m, "1>2@20-60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d partitions, want 1", len(pts))
+	}
+	pt := pts[0]
+	if !pt.OneWay || pt.A != m.Group(1) || pt.B != m.Group(2) || pt.From != 20 || pt.Until != 60 {
+		t.Fatalf("one-way partition %+v does not match spec", pt)
+	}
+	if err := pt.Validate(6); err != nil {
+		t.Fatalf("parsed partition invalid: %v", err)
+	}
+
+	pts, err = parsePartition(m, "0:1@5-inf, 1>2@20-60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].OneWay || !pts[1].OneWay {
+		t.Fatalf("mixed list mis-parsed: %+v", pts)
+	}
+
+	for _, tc := range []struct {
+		spec string
+		want string
+	}{
+		{"1>1@0-5", "from itself"},
+		{"1>3@0-5", "outside 0..2"},
+		{"a>b@0-5", "must be numbers"},
+		{"1>2@9-3", "beyond t1"},
+		{"1>2", "want i:j@t1-t2"},
+	} {
+		if _, err := parsePartition(m, tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %q: got %v, want error containing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// TestParseProcPartition covers the consensus-side grammar whose sides are
+// single processes instead of shard replica groups.
+func TestParseProcPartition(t *testing.T) {
+	pts, err := parseProcPartition(5, "")
+	if err != nil || pts != nil {
+		t.Fatalf("empty spec must be a no-op: %v %v", pts, err)
+	}
+
+	pts, err = parseProcPartition(5, "1:2@30-120, 2>3@10-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d partitions, want 2", len(pts))
+	}
+	if pts[0].OneWay || pts[0].A != dist.NewProcSet(1) || pts[0].B != dist.NewProcSet(2) ||
+		pts[0].From != 30 || pts[0].Until != 120 {
+		t.Fatalf("symmetric entry mis-parsed: %+v", pts[0])
+	}
+	if !pts[1].OneWay || pts[1].A != dist.NewProcSet(2) || pts[1].B != dist.NewProcSet(3) {
+		t.Fatalf("one-way entry mis-parsed: %+v", pts[1])
+	}
+
+	for _, tc := range []struct {
+		spec string
+		want string
+	}{
+		{"1:2", "want i:j@t1-t2"},
+		{"12@0-5", "two processes"},
+		{"a:b@0-5", "must be numbers"},
+		{"0:2@0-5", "outside 1..5"},
+		{"6>1@0-5", "outside 1..5"},
+		{"2>2@0-5", "from itself"},
+		{"1:2@inf-5", "non-negative"},
+		{"1:2@9-9", "beyond t1"},
+	} {
+		if _, err := parseProcPartition(5, tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %q: got %v, want error containing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
 // TestStoreFastReadFlagRoundTrip drives the full store subcommand and checks
 // -fastread round-trips into the engine and back out: the on run prints the
 // fast-read counter line with a nonzero one-phase count, the off run prints

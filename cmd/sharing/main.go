@@ -90,12 +90,13 @@ subcommands:
   register        -n 5 -seed 1
   store           -n 5 -keys 16 -shards 1 -clients 3 -window 4 -ops 16
                   -seeds 20 -workers 0 -skew 1.2 -write 0.5 -crash "5@40"
-                  -crashshard "1@40" -nobatch -piggyback
+                  -crashshard "1@40" -recover "5@120" -nobatch -piggyback
                   -adaptive -maxwindow 16 -stall 16
                   -loss 0.05 -dup 0.05 -delay 3 -faultseed 7 -partition "1:2@20-60"
                   -retransmit -rto 32 -maxrto 256 -stalllimit 20000
                   -openloop -rate 0.25 -coalesce 2 -fastread
-  consensus       -n 5 -seed 1 -crash "5"
+  consensus       -n 5 -seed 1 -crash "5"  [fault mode: -recover "5@200" -loss 0.05
+                  -dup 0.05 -delay 3 -partition "1>2@30-120" -seeds 20 -workers 0]
   counterexample  lemma7|lemma11|lemma15|tightness  [-n 5 -k 2 -seed 1]
   emulate         fig3|fig5|fig6  [-n 5 -seed 1]
   majority-sigma  -n 5 -seed 1
@@ -104,7 +105,10 @@ subcommands:
   sweep           -fig fig2|fig4|consensus -n 5 -k 2 -seeds 200 -workers 0 -scenarios ";5;5@40"
 
 crash lists are comma-separated processes with optional crash times:
-"3,4" crashes p3 and p4 at time 0, "3@40,4" crashes p3 at time 40.`)
+"3,4" crashes p3 and p4 at time 0, "3@40,4" crashes p3 at time 40.
+-recover entries are "p@t" and pair with a crash strictly before t (the
+process rejoins with its volatile state lost). partition entries cut
+"i:j" both ways or "i>j" one-way during [t1,t2).`)
 }
 
 func cmdHierarchy(args []string) error {
@@ -439,6 +443,7 @@ func cmdStore(args []string) error {
 	workers := fs.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
 	crash := fs.String("crash", "", "crash list, e.g. \"5,4@40\"")
 	crashShard := fs.String("crashshard", "", "crash a whole shard's replica group, e.g. \"1\" or \"1@40\"")
+	recov := fs.String("recover", "", "recovery list, e.g. \"5@120\": the crashed process rejoins at t with its volatile state lost (pair each entry with a -crash/-crashshard entry strictly before t; recovered processes stay outside the correctness set)")
 	skew := fs.Float64("skew", 1.2, "zipf skew within each shard's keys (0 = uniform)")
 	write := fs.Float64("write", register.DefaultWriteRatio, "write ratio (0 = read-only)")
 	nobatch := fs.Bool("nobatch", false, "disable request batching (one message per request)")
@@ -450,7 +455,7 @@ func cmdStore(args []string) error {
 	dup := fs.Float64("dup", 0, "per-message duplication probability in [0,1)")
 	delay := fs.Int64("delay", 0, "maximum extra per-message delivery delay in ticks")
 	faultSeed := fs.Int64("faultseed", 0, "fault-plan seed, mixed with each run's scheduler seed")
-	partition := fs.String("partition", "", "scripted shard partitions, e.g. \"1:2@20-60\" (t2 may be \"inf\"; requires -retransmit)")
+	partition := fs.String("partition", "", "scripted shard partitions, e.g. \"1:2@20-60\" symmetric or \"1>2@20-60\" one-way (t2 may be \"inf\"; requires -retransmit)")
 	retransmit := fs.Bool("retransmit", false, "arm per-op retransmission with exponential backoff (required under -loss / -partition)")
 	rto := fs.Int("rto", 0, "initial retransmission timeout in client steps (0 = default; requires -retransmit)")
 	maxRTO := fs.Int("maxrto", 0, "retransmission backoff cap in client steps (0 = 8×rto; requires -retransmit)")
@@ -490,6 +495,9 @@ func cmdStore(args []string) error {
 		return err
 	}
 	if err := parseShardCrash(f, shardMap, *crashShard); err != nil {
+		return err
+	}
+	if err := parseRecover(f, *recov); err != nil {
 		return err
 	}
 	partitions, err := parsePartition(shardMap, *partition)
@@ -635,11 +643,27 @@ func shardBits(mask register.ShardSet, shards int) string {
 	return b.String()
 }
 
+// cmdConsensus runs the Ω+Σ consensus baseline. Without fault flags it is a
+// single traced run whose decisions are printed. Any of -recover, -loss,
+// -dup, -delay or -partition switches it to the consensus-under-faults
+// sweep: -seeds seeded runs on the sweep engine, each checked for validity,
+// uniform agreement and termination at every correct process — and at every
+// recovered process, which must relearn the decision from the periodic
+// decide re-broadcast after its volatile-state wipe.
 func cmdConsensus(args []string) error {
 	fs := flag.NewFlagSet("consensus", flag.ContinueOnError)
 	n := fs.Int("n", 5, "system size")
-	seed := fs.Int64("seed", 1, "scheduler seed")
-	crash := fs.String("crash", "", "processes crashed from time 0")
+	seed := fs.Int64("seed", 1, "scheduler seed (first seed in fault mode)")
+	crash := fs.String("crash", "", "crash list, e.g. \"5\" or \"4@60\"")
+	recov := fs.String("recover", "", "recovery list, e.g. \"4@200\": the crashed process rejoins with its volatile state lost and must relearn the decision (pair with a -crash entry strictly before t)")
+	seeds := fs.Int64("seeds", 20, "seeds per sweep (fault mode only)")
+	workers := fs.Int("workers", 0, "sweep workers in fault mode (0 = GOMAXPROCS)")
+	loss := fs.Float64("loss", 0, "per-message loss probability in [0,1)")
+	dup := fs.Float64("dup", 0, "per-message duplication probability in [0,1)")
+	delay := fs.Int64("delay", 0, "maximum extra per-message delivery delay in ticks")
+	faultSeed := fs.Int64("faultseed", 0, "fault-plan seed, mixed with each run's scheduler seed")
+	partition := fs.String("partition", "", "scripted process partitions, e.g. \"1:2@30-120\" symmetric or \"1>2@30-120\" one-way (must heal: consensus termination needs the quorum back)")
+	stallLimit := fs.Int64("stalllimit", 0, "end a run that makes no progress for this many ticks with reason \"stalled\" (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -647,17 +671,64 @@ func cmdConsensus(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := parseRecover(f, *recov); err != nil {
+		return err
+	}
+	partitions, err := parseProcPartition(*n, *partition)
+	if err != nil {
+		return err
+	}
+	var faults *sim.FaultPlan
+	if *loss > 0 || *dup > 0 || *delay > 0 || len(partitions) > 0 {
+		faults = &sim.FaultPlan{
+			Seed: *faultSeed, Loss: *loss, Dup: *dup,
+			MaxDelay: dist.Time(*delay), Partitions: partitions,
+		}
+	}
 	props := agreement.DistinctProposals(*n)
-	res, err := sim.Run(sim.Config{
-		Pattern: f, History: consensus.NewOracle(f, 25), Program: consensus.Program(props),
-		Scheduler: sim.NewRandomScheduler(*seed), MaxSteps: 200_000, StopWhenDecided: true,
+	if faults == nil && !f.HasRecoveries() {
+		res, err := sim.Run(sim.Config{
+			Pattern: f, History: consensus.NewOracle(f, 25), Program: consensus.Program(props),
+			Scheduler: sim.NewRandomScheduler(*seed), MaxSteps: 200_000, StopWhenDecided: true,
+		})
+		if err != nil {
+			return err
+		}
+		rep := agreement.Check(f, 1, props, res)
+		fmt.Printf("Ω+Σ consensus on %v: %s\n", f, rep)
+		printDecisions(rep.Decisions)
+		return nil
+	}
+	start := time.Now()
+	res, err := consensus.Sweep(consensus.SweepConfig{
+		Pattern:    f,
+		Proposals:  props,
+		Faults:     faults,
+		StallLimit: *stallLimit,
+		SeedStart:  *seed,
+		Seeds:      *seeds,
+		Workers:    *workers,
 	})
 	if err != nil {
 		return err
 	}
-	rep := agreement.Check(f, 1, props, res)
-	fmt.Printf("Ω+Σ consensus on %v: %s\n", f, rep)
-	printDecisions(rep.Decisions)
+	elapsed := time.Since(start)
+	fmt.Printf("Ω+Σ consensus under faults on %v: %s\n", f, res)
+	if faults != nil {
+		fmt.Printf("  faults: loss=%.3g dup=%.3g maxdelay=%d seed=%d",
+			faults.Loss, faults.Dup, int64(faults.MaxDelay), faults.Seed)
+		for _, pt := range faults.Partitions {
+			fmt.Printf(" partition=%v", pt)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  %d runs in %v (%.0f runs/sec)\n",
+		res.Runs, elapsed.Round(time.Millisecond), float64(res.Runs)/elapsed.Seconds())
+	if res.Failures > 0 {
+		return fmt.Errorf("consensus: %d of %d runs failed (first seed %d: %v)",
+			res.Failures, res.Runs, res.FirstFailSeed, res.FirstFailErr)
+	}
+	fmt.Println("  every run: validity, uniform agreement, every correct and recovered process decided")
 	return nil
 }
 

@@ -32,7 +32,14 @@ func TestSubcommandsSucceed(t *testing.T) {
 		{"store", "-n", "6", "-keys", "9", "-shards", "3", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "2",
 			"-fastread", "-retransmit", "-rto", "16", "-loss", "0.05", "-partition", "1:2@20-80", "-stalllimit", "5000"},
 		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "2", "-fastread", "-nobatch"},
+		{"store", "-n", "5", "-keys", "8", "-shards", "2", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "2",
+			"-crash", "5@40", "-recover", "5@120", "-loss", "0.05", "-retransmit", "-stalllimit", "5000"},
+		{"store", "-n", "6", "-keys", "9", "-shards", "3", "-clients", "2", "-window", "2", "-ops", "6", "-seeds", "2",
+			"-partition", "0>1@20-80", "-retransmit", "-rto", "16"},
 		{"consensus", "-n", "4"},
+		{"consensus", "-n", "4", "-seeds", "3", "-loss", "0.05", "-dup", "0.05", "-delay", "2"},
+		{"consensus", "-n", "5", "-seeds", "2", "-crash", "4@40", "-recover", "4@200", "-loss", "0.05"},
+		{"consensus", "-n", "4", "-seeds", "2", "-partition", "1>2@30-120", "-workers", "2"},
 		{"counterexample", "lemma7", "-n", "4"},
 		{"counterexample", "lemma11", "-n", "5", "-k", "2"},
 		{"counterexample", "lemma15", "-n", "3"},
@@ -72,21 +79,27 @@ func TestSubcommandsFail(t *testing.T) {
 		{"setagreement", "-n", "5", "-crash", "3,3@40"}, // duplicate crash entry
 		{"store", "-n", "4", "-clients", "5"},
 		{"store", "-n", "4", "-keys", "0"},
-		{"store", "-n", "4", "-keys", "2", "-clients", "2", "-ops", "100"},                    // over the per-key checker budget
-		{"store", "-n", "5", "-clients", "2", "-crash", "1,2"},                                // every client crashed: nothing to verify
-		{"store", "-n", "4", "-keys", "8", "-shards", "5"},                                    // more shards than processes
-		{"store", "-n", "6", "-keys", "4", "-shards", "5"},                                    // more shards than keys
-		{"store", "-n", "6", "-keys", "6", "-shards", "3", "-crashshard", "3"},                // shard index out of range
-		{"store", "-n", "6", "-keys", "6", "-shards", "3", "-skew", "0.9"},                    // zipf undefined for s ≤ 1
-		{"store", "-n", "6", "-keys", "6", "-shards", "3", "-crash", "2", "-crashshard", "1"}, // p2 crashed twice
-		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-window", "0"},                   // window below 1
-		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-piggyback", "-nobatch"},         // piggyback silently disabled
-		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-maxwindow", "8"},                // controller knob without -adaptive
-		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-adaptive", "-maxwindow", "2"},   // cap below start window (default 4)
-		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-rate", "0.5"},                   // -rate needs -openloop
-		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-openloop", "-rate", "-1"},       // negative rate
-		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-coalesce", "-2"},                // negative delay budget
-		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-nobatch", "-coalesce", "2"},     // nothing to merge unbatched
+		{"store", "-n", "4", "-keys", "2", "-clients", "2", "-ops", "100"},                        // over the per-key checker budget
+		{"store", "-n", "5", "-clients", "2", "-crash", "1,2"},                                    // every client crashed: nothing to verify
+		{"store", "-n", "4", "-keys", "8", "-shards", "5"},                                        // more shards than processes
+		{"store", "-n", "6", "-keys", "4", "-shards", "5"},                                        // more shards than keys
+		{"store", "-n", "6", "-keys", "6", "-shards", "3", "-crashshard", "3"},                    // shard index out of range
+		{"store", "-n", "6", "-keys", "6", "-shards", "3", "-skew", "0.9"},                        // zipf undefined for s ≤ 1
+		{"store", "-n", "6", "-keys", "6", "-shards", "3", "-crash", "2", "-crashshard", "1"},     // p2 crashed twice
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-window", "0"},                       // window below 1
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-piggyback", "-nobatch"},             // piggyback silently disabled
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-maxwindow", "8"},                    // controller knob without -adaptive
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-adaptive", "-maxwindow", "2"},       // cap below start window (default 4)
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-rate", "0.5"},                       // -rate needs -openloop
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-openloop", "-rate", "-1"},           // negative rate
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-coalesce", "-2"},                    // negative delay budget
+		{"store", "-n", "4", "-keys", "4", "-clients", "2", "-nobatch", "-coalesce", "2"},         // nothing to merge unbatched
+		{"store", "-n", "5", "-keys", "8", "-clients", "2", "-recover", "5@120"},                  // recovery without a crash
+		{"store", "-n", "5", "-keys", "8", "-clients", "2", "-crash", "5@40", "-recover", "5@30"}, // recovery before the crash
+		{"store", "-n", "5", "-keys", "8", "-clients", "2", "-crash", "5@40", "-recover", "5"},    // recovery needs a time
+		{"consensus", "-n", "4", "-recover", "4@200"},                                             // recovery without a crash
+		{"consensus", "-n", "4", "-loss", "0.05", "-partition", "1:2@10-inf"},                     // consensus needs the partition to heal
+		{"consensus", "-n", "4", "-loss", "1.5"},                                                  // loss outside [0,1)
 		{"explore", "-fig", "bogus"},
 		{"explore", "-fig", "fig4", "-n", "3", "-k", "2"},
 		{"explore", "-fig", "fig2", "-n", "3", "-crash", "3@10"}, // crash at 10 ≥ TimeCap 1

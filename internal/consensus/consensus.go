@@ -96,7 +96,8 @@ type Node struct {
 	stall     int
 	threshold int
 
-	decided bool
+	decided    bool
+	decidedVal agreement.Value
 }
 
 var _ sim.Automaton = (*Node)(nil)
@@ -121,6 +122,17 @@ func (a *Node) Step(e *sim.Env) {
 		a.onMessage(e, payload, from)
 	}
 	if a.decided {
+		// Under message loss a decideMsg can vanish, stranding a peer that
+		// missed the quorum traffic — and a recovered process rejoins with no
+		// memory of the decision at all. Re-broadcast the decided value at
+		// the stall-retry cadence; only the single chosen value is ever
+		// re-sent, so agreement cannot be disturbed, and fault-free runs end
+		// before the first re-broadcast fires (StopWhenDecided).
+		a.stall++
+		if a.stall >= a.threshold {
+			a.stall = 0
+			e.BroadcastAll(decideMsg{Val: a.decidedVal})
+		}
 		return
 	}
 	out, ok := e.QueryFD().(FD)
@@ -242,4 +254,6 @@ func (a *Node) maybeRetry(e *sim.Env) {
 func (a *Node) decide(e *sim.Env, v agreement.Value) {
 	e.Decide(v)
 	a.decided = true
+	a.decidedVal = v
+	a.stall = 0
 }

@@ -1,0 +1,140 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/dist"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// faultedSweepConfig is the shared consensus-under-faults scenario: n = 5,
+// one early crash, 5% loss + 5% duplication + bounded delay, and a one-way
+// partition (p2 can hear p1's side but not answer it) healing mid-run.
+func faultedSweepConfig(seeds int64, workers int) SweepConfig {
+	const n = 5
+	f := dist.NewFailurePattern(n)
+	f.CrashAt(4, 60)
+	return SweepConfig{
+		Pattern:   f,
+		Proposals: []agreement.Value{10, 20, 30, 40, 50},
+		Stab:      25,
+		Faults: &sim.FaultPlan{
+			Seed: 77, Loss: 0.05, Dup: 0.05, MaxDelay: 3,
+			Partitions: []dist.Partition{{
+				A: dist.NewProcSet(2), B: dist.NewProcSet(1, 3), From: 30, Until: 120, OneWay: true,
+			}},
+		},
+		StallLimit: 20_000,
+		Seeds:      seeds,
+		Workers:    workers,
+	}
+}
+
+// TestConsensusSweepUnderFaultsWorkerIndependent runs Ω+Σ consensus under
+// loss + duplication + delay + a healing one-way partition + a crash, checks
+// every run for validity and uniform agreement, and asserts the whole
+// aggregate — decided rate, failure accounting, steps/msgs/drops/dups
+// histograms — is bit-identical at workers 1, 2 and 8. Quorum retries (the
+// ballot stall-retry loop plus the decide re-broadcast) must mask the loss:
+// every seed decides.
+func TestConsensusSweepUnderFaultsWorkerIndependent(t *testing.T) {
+	const seeds = 48
+	var base *sweep.Result
+	for _, workers := range []int{1, 2, 8} {
+		res, err := Sweep(faultedSweepConfig(seeds, workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Failures > 0 {
+			t.Fatalf("workers=%d: %d failing seeds, first %d: %v",
+				workers, res.Failures, res.FirstFailSeed, res.FirstFailErr)
+		}
+		if res.Decided != seeds {
+			t.Fatalf("workers=%d: only %d/%d runs decided under faults", workers, res.Decided, seeds)
+		}
+		if res.Dropped.Sum == 0 || res.Duplicated.Sum == 0 {
+			t.Fatalf("workers=%d: fault plan never fired (drops %d, dups %d)",
+				workers, res.Dropped.Sum, res.Duplicated.Sum)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if res.Runs != base.Runs || res.Decided != base.Decided || res.Failures != base.Failures ||
+			res.FirstFailSeed != base.FirstFailSeed ||
+			res.Steps != base.Steps || res.Msgs != base.Msgs ||
+			res.Dropped != base.Dropped || res.Duplicated != base.Duplicated {
+			t.Fatalf("workers=%d: aggregate differs from workers=1:\n%v\nvs\n%v", workers, res, base)
+		}
+	}
+}
+
+// TestConsensusSweepCrashRecover is the volatile-state-loss scenario: p3
+// crashes at t=40 — possibly after promising, accepting, even deciding — and
+// recovers at t=200 with everything forgotten. Agreement and validity must
+// hold across every seed, and the recovered process must relearn the decided
+// value from the periodic decideMsg re-broadcast (the Sweep's Check enforces
+// that; termination of correct processes is agreement.Check's). Safety
+// survives because Σ's trusted sets converge to Correct(F), which excludes
+// the ever-crashed p3: every quorum contains all correct processes, so two
+// quorums always intersect in a process whose memory was never wiped.
+func TestConsensusSweepCrashRecover(t *testing.T) {
+	const n, seeds = 5, 48
+	f := dist.NewFailurePattern(n)
+	f.CrashAt(3, 40)
+	f.RecoverAt(3, 200)
+	res, err := Sweep(SweepConfig{
+		Pattern:   f,
+		Proposals: []agreement.Value{10, 20, 30, 40, 50},
+		Stab:      25,
+		Faults: &sim.FaultPlan{
+			Seed: 91, Loss: 0.05, Dup: 0.05, MaxDelay: 2,
+		},
+		StallLimit: 20_000,
+		Seeds:      seeds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures > 0 {
+		t.Fatalf("%d failing seeds, first %d: %v", res.Failures, res.FirstFailSeed, res.FirstFailErr)
+	}
+	if res.Decided != seeds {
+		t.Fatalf("only %d/%d runs decided", res.Decided, seeds)
+	}
+}
+
+// TestConsensusSweepRejectsBadSetups covers the construction-time guards.
+func TestConsensusSweepRejectsBadSetups(t *testing.T) {
+	good := faultedSweepConfig(1, 1)
+	cases := []struct {
+		name string
+		mut  func(c *SweepConfig)
+	}{
+		{"nil pattern", func(c *SweepConfig) { c.Pattern = nil }},
+		{"all crashed", func(c *SweepConfig) {
+			f := dist.NewFailurePattern(2)
+			f.CrashAt(1, 0)
+			f.CrashAt(2, 0)
+			c.Pattern = f
+		}},
+		{"proposal count", func(c *SweepConfig) { c.Proposals = c.Proposals[:2] }},
+		{"invalid faults", func(c *SweepConfig) {
+			c.Faults = &sim.FaultPlan{Loss: 1.5}
+		}},
+		{"unhealed partition", func(c *SweepConfig) {
+			c.Faults = &sim.FaultPlan{Partitions: []dist.Partition{{
+				A: dist.NewProcSet(1), B: dist.NewProcSet(2), From: 0, Until: dist.NoCrash,
+			}}}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := good
+		tc.mut(&cfg)
+		if _, err := Sweep(cfg); err == nil {
+			t.Errorf("%s: Sweep accepted an invalid config", tc.name)
+		}
+	}
+}

@@ -11,24 +11,33 @@ import (
 // strictly before its crash time; a process with crash time 0 never takes a
 // step ("initially dead").
 //
-// Patterns are built once (NewFailurePattern + CrashAt) and then read by
-// runs. Crash events are sorted and the cumulative crashed set per distinct
-// crash time is cached on first read, so the per-step AliveAt and Correct
-// queries are allocation-free lookups. Setup and reads must not be
-// interleaved concurrently.
+// A crashed process may additionally *recover* at a later time (RecoverAt):
+// it is down during [crash, recover) and alive again from the recovery time
+// on, with its volatile state lost (the simulator rebuilds the automaton).
+// Recovery restores liveness, not correctness: a process that ever crashes
+// stays in Faulty()/outside Correct(), matching the paper's crash-stop
+// notion of correct(F) — recovered processes rejoin as untrusted learners.
+//
+// Patterns are built once (NewFailurePattern + CrashAt + RecoverAt) and then
+// read by runs. Transitions are sorted and the cumulative down set per
+// distinct transition time is cached on first read, so the per-step AliveAt
+// and Correct queries are allocation-free lookups. Setup and reads must not
+// be interleaved concurrently.
 type FailurePattern struct {
 	n      int
 	all    ProcSet            // FullSet(n), cached: All() sits on per-step paths
 	crash  [MaxProcs + 1]Time // indexed by ProcID; NoCrash if correct
+	recov  [MaxProcs + 1]Time // indexed by ProcID; NoCrash if never recovers
 	faulty ProcSet
+	recset ProcSet // processes with a recovery scheduled
 
 	dirty  bool
-	events []crashStep // sorted by time, cumulative crashed sets
+	events []downStep // sorted by time, cumulative down sets
 }
 
-type crashStep struct {
-	t       Time
-	crashed ProcSet // every process with crash time ≤ t
+type downStep struct {
+	t    Time
+	down ProcSet // every process with crash ≤ t < recover
 }
 
 // NewFailurePattern returns the failure-free pattern over n processes
@@ -41,6 +50,7 @@ func NewFailurePattern(n int) *FailurePattern {
 	f := &FailurePattern{n: n, all: FullSet(n)}
 	for p := 1; p <= n; p++ {
 		f.crash[p] = NoCrash
+		f.recov[p] = NoCrash
 	}
 	return f
 }
@@ -73,14 +83,59 @@ func (f *FailurePattern) CrashAt(p ProcID, t Time) {
 	if t < 0 {
 		t = 0
 	}
+	if t != NoCrash && f.recov[p] != NoCrash && f.recov[p] <= t {
+		panic(fmt.Sprintf("dist: CrashAt(p%d, %d) at or after its recovery time %d", int(p), int64(t), int64(f.recov[p])))
+	}
 	f.crash[p] = t
 	if t == NoCrash {
 		f.faulty = f.faulty.Remove(p)
+		f.recov[p] = NoCrash // un-crashing discards any scheduled recovery
+		f.recset = f.recset.Remove(p)
 	} else {
 		f.faulty = f.faulty.Add(p)
 	}
 	f.dirty = true
 }
+
+// RecoverAt records that p, which must already have a crash time, recovers
+// at time t > CrashTime(p): it is down during [crash, t) and takes steps
+// again from t on, with volatile state lost. The process remains faulty
+// (outside Correct()) — recovery restores liveness, not correctness.
+// RecoverAt(p, NoCrash) cancels a scheduled recovery.
+func (f *FailurePattern) RecoverAt(p ProcID, t Time) {
+	if p < 1 || int(p) > f.n {
+		panic(fmt.Sprintf("dist: RecoverAt(p%d) outside 1..%d", int(p), f.n))
+	}
+	if t == NoCrash {
+		f.recov[p] = NoCrash
+		f.recset = f.recset.Remove(p)
+		f.dirty = true
+		return
+	}
+	if f.crash[p] == NoCrash {
+		panic(fmt.Sprintf("dist: RecoverAt(p%d, %d) but p%d never crashes", int(p), int64(t), int(p)))
+	}
+	if t <= f.crash[p] {
+		panic(fmt.Sprintf("dist: RecoverAt(p%d, %d) not after its crash time %d", int(p), int64(t), int64(f.crash[p])))
+	}
+	f.recov[p] = t
+	f.recset = f.recset.Add(p)
+	f.dirty = true
+}
+
+// RecoverTime returns p's recovery time, or NoCrash if p never recovers.
+func (f *FailurePattern) RecoverTime(p ProcID) Time {
+	if p < 1 || int(p) > f.n {
+		return NoCrash
+	}
+	return f.recov[p]
+}
+
+// HasRecoveries reports whether any process recovers in F.
+func (f *FailurePattern) HasRecoveries() bool { return !f.recset.IsEmpty() }
+
+// Recovering returns the set of processes with a scheduled recovery.
+func (f *FailurePattern) Recovering() ProcSet { return f.recset }
 
 // CrashTime returns p's crash time, or NoCrash if p is correct.
 func (f *FailurePattern) CrashTime(p ProcID) Time {
@@ -90,12 +145,13 @@ func (f *FailurePattern) CrashTime(p ProcID) Time {
 	return f.crash[p]
 }
 
-// Alive reports whether p has not crashed at time t: t < CrashTime(p).
+// Alive reports whether p takes steps at time t: before its crash time, or
+// at/after its recovery time if it has one (down during [crash, recover)).
 func (f *FailurePattern) Alive(p ProcID, t Time) bool {
 	if p < 1 || int(p) > f.n {
 		return false
 	}
-	return t < f.crash[p]
+	return t < f.crash[p] || t >= f.recov[p]
 }
 
 // IsCorrect reports whether p never crashes in F.
@@ -114,9 +170,9 @@ func (f *FailurePattern) InEnvironment() bool { return !f.Correct().IsEmpty() }
 // Faulty returns Π \ correct(F).
 func (f *FailurePattern) Faulty() ProcSet { return f.faulty }
 
-// AliveAt returns Π \ F(t), the processes that have not crashed at time t.
-// After the first call (which sorts the crash events) it is a binary search
-// over at most MaxProcs cached entries and does not allocate.
+// AliveAt returns Π \ F(t), the processes taking steps at time t. After the
+// first call (which sorts the crash/recovery transitions) it is a binary
+// search over at most 2·MaxProcs cached entries and does not allocate.
 func (f *FailurePattern) AliveAt(t Time) ProcSet {
 	if f.dirty {
 		f.finalize()
@@ -135,40 +191,51 @@ func (f *FailurePattern) AliveAt(t Time) ProcSet {
 	if lo == 0 {
 		return f.All()
 	}
-	return f.All().Minus(ev[lo-1].crashed)
+	return f.All().Minus(ev[lo-1].down)
 }
 
-// finalize sorts crash times and builds the cumulative crashed set per
-// distinct crash time.
+// finalize sorts crash and recovery transitions and builds the cumulative
+// down set per distinct transition time.
 func (f *FailurePattern) finalize() {
-	type pc struct {
-		t Time
-		p ProcID
+	type transition struct {
+		t  Time
+		p  ProcID
+		up bool // recovery: p leaves the down set at t
 	}
-	var order []pc
+	var order []transition
 	f.faulty.ForEach(func(p ProcID) {
-		order = append(order, pc{t: f.crash[p], p: p})
+		order = append(order, transition{t: f.crash[p], p: p})
+		if f.recov[p] != NoCrash {
+			order = append(order, transition{t: f.recov[p], p: p, up: true})
+		}
 	})
 	sort.Slice(order, func(i, j int) bool { return order[i].t < order[j].t })
 	f.events = f.events[:0]
-	var crashed ProcSet
+	var down ProcSet
 	for _, e := range order {
-		crashed = crashed.Add(e.p)
-		if k := len(f.events); k > 0 && f.events[k-1].t == e.t {
-			f.events[k-1].crashed = crashed
+		if e.up {
+			down = down.Remove(e.p)
 		} else {
-			f.events = append(f.events, crashStep{t: e.t, crashed: crashed})
+			down = down.Add(e.p)
+		}
+		if k := len(f.events); k > 0 && f.events[k-1].t == e.t {
+			f.events[k-1].down = down
+		} else {
+			f.events = append(f.events, downStep{t: e.t, down: down})
 		}
 	}
 	f.dirty = false
 }
 
-// String renders the pattern as n and its crash schedule.
+// String renders the pattern as n and its crash/recovery schedule.
 func (f *FailurePattern) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "F(n=%d", f.n)
 	f.faulty.ForEach(func(p ProcID) {
 		fmt.Fprintf(&b, " p%d@%d", int(p), int64(f.crash[p]))
+		if f.recov[p] != NoCrash {
+			fmt.Fprintf(&b, "r%d", int64(f.recov[p]))
+		}
 	})
 	b.WriteByte(')')
 	return b.String()

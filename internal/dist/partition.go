@@ -12,10 +12,17 @@ import "fmt"
 // data instead of a DeliveryFilter closure: blocked messages are not lost,
 // they stay queued and become deliverable at heal time, so a healed
 // partition costs latency, never safety.
+//
+// OneWay makes the cut asymmetric: only messages from a process in A to a
+// process in B are blocked; B→A traffic flows normally. This models
+// one-directional link faults (A can be heard but cannot hear back —
+// requests arrive, replies do not, or vice versa depending on which side the
+// client sits).
 type Partition struct {
-	A, B  ProcSet
-	From  Time
-	Until Time
+	A, B   ProcSet
+	From   Time
+	Until  Time
+	OneWay bool // block A→B only; B→A flows
 }
 
 // Validate checks the partition is well-formed for an n-process system.
@@ -45,16 +52,27 @@ func (pt Partition) Separates(p, q ProcID) bool {
 	return (pt.A.Contains(p) && pt.B.Contains(q)) || (pt.A.Contains(q) && pt.B.Contains(p))
 }
 
-// Blocks reports whether a message between p and q is undeliverable at time
-// t because this partition is active and separates them.
-func (pt Partition) Blocks(p, q ProcID, t Time) bool {
-	return t >= pt.From && t < pt.Until && pt.Separates(p, q)
+// Blocks reports whether a message from p to q is undeliverable at time t
+// because this partition is active and cuts that direction. Symmetric
+// partitions cut both directions; OneWay partitions cut A→B only.
+func (pt Partition) Blocks(from, to ProcID, t Time) bool {
+	if t < pt.From || t >= pt.Until {
+		return false
+	}
+	if pt.OneWay {
+		return pt.A.Contains(from) && pt.B.Contains(to)
+	}
+	return pt.Separates(from, to)
 }
 
 // String renders the partition for logs and errors.
 func (pt Partition) String() string {
-	if pt.Until == NoCrash {
-		return fmt.Sprintf("%v↮%v@[%d,∞)", pt.A, pt.B, int64(pt.From))
+	arrow := "↮"
+	if pt.OneWay {
+		arrow = "↛"
 	}
-	return fmt.Sprintf("%v↮%v@[%d,%d)", pt.A, pt.B, int64(pt.From), int64(pt.Until))
+	if pt.Until == NoCrash {
+		return fmt.Sprintf("%v%s%v@[%d,∞)", pt.A, arrow, pt.B, int64(pt.From))
+	}
+	return fmt.Sprintf("%v%s%v@[%d,%d)", pt.A, arrow, pt.B, int64(pt.From), int64(pt.Until))
 }

@@ -933,15 +933,52 @@ func (a *StoreNode) ReplicaStateBytes() int {
 	return total
 }
 
+// Recover implements sim.Recoverable: the runner calls it on the fresh
+// post-recovery instance, which must shed everything that was volatile in
+// the crashed process. Replica data is nilled (not zeroed in place) so it is
+// visibly gone — ReplicaStateBytes drops to 0 — and repopulated exclusively
+// through the protocol: locate re-allocates a shard's slices on first touch
+// by an incoming store/write-back, and the zero timestamps a rejoined
+// replica then answers with can only lose max-merges at clients, never
+// fake a confirmation (conf = 0 ≤ ts keeps the CTS invariant). The client
+// script dies with the process: its pending ops were volatile, and
+// replaying them would re-issue writes whose values may already be applied.
+// The recovered process rejoins as a replica-only learner.
+func (a *StoreNode) Recover() {
+	for sh := range a.ts {
+		a.ts[sh] = nil
+		a.val[sh] = nil
+	}
+	for sh := range a.conf {
+		a.conf[sh] = nil
+	}
+	for sh := range a.queues {
+		a.queues[sh] = a.queues[sh][:0]
+	}
+	a.queued = 0
+	a.scriptLen = 0
+}
+
 // locate resolves a key to its shard and local replica index at this node;
 // ok is false for keys out of range or shards this node does not replicate.
+// An owned shard whose slices are nil marks a recovered replica: its state
+// is lazily re-allocated (zero timestamps, zero values) on the first
+// protocol touch, so repopulation costs a one-time transient and then rides
+// the normal write-back/phase-2 paths allocation-free.
 func (a *StoreNode) locate(key int) (sh, loc int, ok bool) {
 	if key < 0 || key >= a.shards.Keys() {
 		return 0, 0, false
 	}
 	sh = a.shards.Shard(key)
 	if a.ts[sh] == nil {
-		return 0, 0, false
+		if !a.shards.Owns(a.self, sh) {
+			return 0, 0, false
+		}
+		a.ts[sh] = make([]Timestamp, a.shards.KeysIn(sh))
+		a.val[sh] = make([]Value, a.shards.KeysIn(sh))
+		if a.cfg.FastReads && a.conf[sh] == nil {
+			a.conf[sh] = make([]Timestamp, a.shards.KeysIn(sh))
+		}
 	}
 	return sh, a.shards.Local(key), true
 }

@@ -12,8 +12,14 @@ import (
 // workload, for the allocation tripwire.
 func storeAllocRunner(t *testing.T, cfg StoreConfig, opsPerClient int, fp *sim.FaultPlan) *sim.Runner {
 	t.Helper()
+	return storeAllocRunnerOn(t, cfg, opsPerClient, fp, dist.NewFailurePattern(5))
+}
+
+// storeAllocRunnerOn is storeAllocRunner with an explicit failure pattern
+// (crashes and recoveries), for the recovery alloc row.
+func storeAllocRunnerOn(t *testing.T, cfg StoreConfig, opsPerClient int, fp *sim.FaultPlan, f *dist.FailurePattern) *sim.Runner {
+	t.Helper()
 	const n = 5
-	f := dist.NewFailurePattern(n)
 	s := dist.RangeSet(1, 3)
 	scripts, err := GenerateStoreWorkload(StoreWorkloadConfig{
 		N: n, S: s, Keys: cfg.Keys, Shards: cfg.Shards, OpsPerClient: opsPerClient,
@@ -89,29 +95,49 @@ func TestStoreAllocsPerStep(t *testing.T) {
 	// lease and shows up as a per-step cost), and retransmit re-sends flow
 	// through the same pooled accumulators as first sends.
 	faults := &sim.FaultPlan{Seed: 33, Loss: 0.05, Dup: 0.05, MaxDelay: 2}
+	// The recovery row wipes a replica of shard 0 (group {1,5}) mid-run and
+	// brings it back: the recovery transient (the fresh automaton, the lazy
+	// replica re-allocation on first post-recovery touch) is per-run setup
+	// shared by both runners, so the marginal cost per step must still be
+	// zero.
+	recovery := func() *dist.FailurePattern {
+		f := dist.NewFailurePattern(5)
+		f.CrashAt(5, 10)
+		f.RecoverAt(5, 30)
+		return f
+	}()
 	for _, tc := range []struct {
 		name string
 		cfg  StoreConfig
 		fp   *sim.FaultPlan
+		pat  *dist.FailurePattern
 	}{
-		{"batched", StoreConfig{Keys: 12, Window: 8}, nil},
-		{"piggyback+adaptive", StoreConfig{Keys: 12, Window: 8, Piggyback: true, AdaptiveWindow: true}, nil},
-		{"sharded", StoreConfig{Keys: 12, Shards: 4, Window: 8}, nil},
-		{"retransmit+faults", StoreConfig{Keys: 12, Shards: 4, Window: 8, Retransmit: true, RTO: 16}, faults},
+		{"batched", StoreConfig{Keys: 12, Window: 8}, nil, nil},
+		{"piggyback+adaptive", StoreConfig{Keys: 12, Window: 8, Piggyback: true, AdaptiveWindow: true}, nil, nil},
+		{"sharded", StoreConfig{Keys: 12, Shards: 4, Window: 8}, nil, nil},
+		{"retransmit+faults", StoreConfig{Keys: 12, Shards: 4, Window: 8, Retransmit: true, RTO: 16}, faults, nil},
 		{"coalesce", StoreConfig{
 			Keys: 12, Shards: 4, Window: 8, Piggyback: true,
 			CoalesceDelay: 2, OpenLoop: true, ArrivalGap: 3, ArrivalJitter: true,
 			Retransmit: true, RTO: 16,
-		}, faults},
+		}, faults, nil},
 		{"fastread", StoreConfig{
 			Keys: 12, Shards: 4, Window: 8, Piggyback: true,
 			CoalesceDelay: 2, OpenLoop: true, ArrivalGap: 3, ArrivalJitter: true,
 			Retransmit: true, RTO: 16, FastReads: true,
-		}, faults},
+		}, faults, nil},
+		{"recovery", StoreConfig{
+			Keys: 12, Shards: 4, Window: 8, Piggyback: true,
+			Retransmit: true, RTO: 16, FastReads: true,
+		}, faults, recovery},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			short := storeAllocRunner(t, tc.cfg, 6, tc.fp)
-			long := storeAllocRunner(t, tc.cfg, 48, tc.fp)
+			pat := tc.pat
+			if pat == nil {
+				pat = dist.NewFailurePattern(5)
+			}
+			short := storeAllocRunnerOn(t, tc.cfg, 6, tc.fp, pat)
+			long := storeAllocRunnerOn(t, tc.cfg, 48, tc.fp, pat)
 			aShort, sShort := measureStoreAllocs(t, short, 10)
 			aLong, sLong := measureStoreAllocs(t, long, 10)
 			if sLong-sShort < 500 {
@@ -121,6 +147,18 @@ func TestStoreAllocsPerStep(t *testing.T) {
 			if marginal > 0.02 {
 				t.Fatalf("steady-state store step allocates: %.4f allocs/step (short %.1f allocs over %.0f steps, long %.1f over %.0f)",
 					marginal, aShort, sShort, aLong, sLong)
+			}
+			if tc.pat != nil {
+				// The recovery row must actually exercise the wipe-and-rebuild
+				// path: after a measured run the recovered replica's state has
+				// grown back through quorum traffic.
+				res, err := long.Reset(50).Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if node := res.Automata[4].(*StoreNode); node.ReplicaStateBytes() == 0 {
+					t.Fatal("recovered replica never repopulated — the recovery row exercised nothing")
+				}
 			}
 		})
 	}

@@ -40,6 +40,20 @@ type Emulator interface {
 	Output() any
 }
 
+// Recoverable is implemented by automata that support crash-recovery with
+// volatile-state loss. When a process recovers, the Runner instantiates a
+// fresh automaton from the Program and then calls Recover on it, letting the
+// automaton drop state a fresh instance would otherwise resurrect: a store
+// client's operation script (its pending ops died with the process — a
+// recovered process must not replay writes whose values may already be in
+// the system) and any replica data that must be repopulated through the
+// protocol rather than reborn by the constructor. Wiring — shard maps,
+// buffers, pools — stays.
+type Recoverable interface {
+	Automaton
+	Recover()
+}
+
 // Program instantiates the automaton run by process p in a system of n
 // processes. It is called once per process before the run starts.
 type Program func(p dist.ProcID, n int) Automaton
@@ -287,4 +301,14 @@ func (s *Stack) Output() any {
 		return emu.Output()
 	}
 	return nil
+}
+
+// Recover forwards a process recovery to every Recoverable layer, so a
+// layered automaton rebuilt after a crash sheds volatile per-layer state.
+func (s *Stack) Recover() {
+	for _, l := range s.layers {
+		if rec, ok := l.(Recoverable); ok {
+			rec.Recover()
+		}
+	}
 }

@@ -71,14 +71,23 @@ func (fp *FaultPlan) Blocked(from, to dist.ProcID, t dist.Time) bool {
 	return false
 }
 
-// CutThrough reports whether some partition separating p and q is still
-// active at horizon-1, i.e. the pair never regains connectivity within a run
-// of `horizon` ticks. Completion guarantees only cover pairs that are not
-// cut through the horizon (and healed partitions should leave generous slack
-// before the horizon for parked operations to drain).
+// CutThrough reports whether some partition separating p and q denies the
+// pair a usable window within a run of `horizon` ticks. Completion
+// guarantees only cover pairs that are not cut through the horizon.
+//
+// A partition counts as cut unless it heals with drain slack to spare: the
+// heal must land in the first half of the horizon (Until ≤ horizon/2),
+// mirroring how EffectiveMaxSteps stretches default budgets to 2·Until. A
+// heal at or just before the horizon boundary used to count as "reachable"
+// with zero ticks left for parked operations to drain, turning honest parked
+// ops into spurious completion failures under explicitly pinned MaxSteps.
+//
+// One-way partitions cut the pair in both roles: an ABD exchange needs the
+// request direction and the reply direction, so blocking either parks it —
+// Separates is deliberately direction-agnostic here.
 func (fp *FaultPlan) CutThrough(p, q dist.ProcID, horizon dist.Time) bool {
 	for _, pt := range fp.Partitions {
-		if pt.Separates(p, q) && pt.From < horizon && pt.Until >= horizon {
+		if pt.Separates(p, q) && pt.From < horizon && (pt.Until == dist.NoCrash || pt.Until > horizon/2) {
 			return true
 		}
 	}

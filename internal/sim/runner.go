@@ -252,8 +252,10 @@ type Runner struct {
 	hasEmu    []bool
 	delivered Message // scratch copy of the message handed to the stepping automaton
 
-	crashEvents []crashEvent
-	crashPos    int
+	crashEvents   []crashEvent
+	crashPos      int
+	recoverEvents []crashEvent
+	recoverPos    int
 
 	view View // reused scheduler view; Pending/Decided bound once
 	env  Env  // reused step context
@@ -347,8 +349,12 @@ func NewRunner(cfg Config) (*Runner, error) {
 		if c := cfg.Pattern.CrashTime(p); c != dist.NoCrash {
 			r.crashEvents = append(r.crashEvents, crashEvent{t: c, p: p})
 		}
+		if rc := cfg.Pattern.RecoverTime(p); rc != dist.NoCrash {
+			r.recoverEvents = append(r.recoverEvents, crashEvent{t: rc, p: p})
+		}
 	}
 	sort.Slice(r.crashEvents, func(i, j int) bool { return r.crashEvents[i].t < r.crashEvents[j].t })
+	sort.Slice(r.recoverEvents, func(i, j int) bool { return r.recoverEvents[i].t < r.recoverEvents[j].t })
 	r.reset()
 	return r, nil
 }
@@ -380,6 +386,7 @@ func (r *Runner) reset() {
 	r.ran = false
 	r.decidedSet = dist.ProcSet{}
 	r.crashPos = 0
+	r.recoverPos = 0
 	for i := range r.inboxes {
 		r.inboxes[i].reset()
 	}
@@ -452,6 +459,7 @@ func (r *Runner) loop() StopReason {
 	for ; int64(r.now) < r.cfg.MaxSteps; r.now++ {
 		t := r.now
 		r.emitCrashes(t)
+		r.applyRecoveries(t)
 		alive := r.cfg.Pattern.AliveAt(t)
 		if alive.IsEmpty() {
 			return ReasonAllCrashed
@@ -625,6 +633,39 @@ func (r *Runner) emitCrashes(t dist.Time) {
 		ce := r.crashEvents[r.crashPos]
 		r.record(trace.Event{T: ce.t, P: ce.p, Kind: trace.CrashKind})
 		r.crashPos++
+	}
+}
+
+// applyRecoveries makes pending recoveries effective: the recovering process
+// gets a fresh zero-value automaton from the Program (volatile state is
+// lost; the Recoverable hook lets layered automata drop state a fresh
+// instance would otherwise resurrect, e.g. a store client's script), its
+// parked inbox entries are dropped, and any pre-crash decision is forgotten
+// — the process may legitimately re-decide after relearning the value, so
+// the double-decision guard must not fire. A pattern without recoveries
+// never enters the loop body, keeping recovery-free runs byte-identical.
+func (r *Runner) applyRecoveries(t dist.Time) {
+	for r.recoverPos < len(r.recoverEvents) && r.recoverEvents[r.recoverPos].t <= t {
+		re := r.recoverEvents[r.recoverPos]
+		r.recoverPos++
+		p := re.p
+		a := r.cfg.Program(p, r.n)
+		if rec, ok := a.(Recoverable); ok {
+			rec.Recover()
+		}
+		r.automata[p-1] = a
+		r.inboxes[p].wipe(r.tr == nil)
+		if r.decidedSet.Contains(p) {
+			r.decidedSet = r.decidedSet.Remove(p)
+			r.decisions[p-1] = nil
+			r.decideTime[p-1] = 0
+		}
+		r.record(trace.Event{T: re.t, P: p, Kind: trace.RecoverKind})
+		if emu, ok := a.(Emulator); ok {
+			out := emu.Output()
+			r.lastEmu[p-1], r.hasEmu[p-1] = out, true
+			r.record(trace.Event{T: re.t, P: p, Kind: trace.EmuKind, Payload: out})
+		}
 	}
 }
 

@@ -47,6 +47,10 @@ const (
 	// DropKind records a message send discarded by fault-injected loss (the
 	// message was never enqueued; there is no matching delivery).
 	DropKind
+	// RecoverKind records a crashed process recovering: from this tick on it
+	// takes steps again with a fresh zero-value automaton (volatile state
+	// lost) and an empty inbox.
+	RecoverKind
 )
 
 // String returns a short name for the kind.
@@ -68,6 +72,8 @@ func (k Kind) String() string {
 		return "crash"
 	case DropKind:
 		return "drop"
+	case RecoverKind:
+		return "recover"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
